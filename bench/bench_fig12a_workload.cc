@@ -1,0 +1,102 @@
+// Reproduces Fig. 12(a): maximal latency of context-aware vs
+// context-independent processing while scaling the event query workload.
+// Linear Road series: the number of context processing queries grows by
+// replicating the benchmark queries (4 per replica). PAM series: the number
+// of heart-rate queries attached to the active context grows.
+// The paper reports an ~8x win at 10 LR queries and a comparable win on the
+// PAM data set at 20 queries.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness.h"
+#include "workloads/linear_road.h"
+#include "workloads/pamap.h"
+
+namespace caesar {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  int max_replicas = static_cast<int>(flags.Int("max_replicas", 5));
+  int segments = static_cast<int>(flags.Int("segments", 10));
+  Timestamp duration = flags.Int("duration", 900);
+  double accel = flags.Double("accel", 2000.0);
+  int pam_subjects = static_cast<int>(flags.Int("pam_subjects", 10));
+  Timestamp pam_duration = flags.Int("pam_duration", 1500);
+  uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  flags.Validate();
+
+  bench::Banner("Scaling the event query workload",
+                "Fig. 12(a): max latency, context-aware (CA) vs "
+                "context-independent (CI); paper: ~8x at 10 LR queries");
+
+  {
+    std::printf("--- Linear Road ---\n");
+    LinearRoadConfig config;
+    config.num_xways = 1;
+    config.num_segments = segments;
+    config.duration = duration;
+    config.seed = seed;
+    TypeRegistry registry;
+    EventBatch stream = GenerateLinearRoadStream(config, &registry);
+
+    bench::Table table(
+        {"queries", "ca_lat_s", "ci_lat_s", "win_ratio", "cpu_ratio", "ca_ops", "ci_ops"});
+    for (int replicas = 1; replicas <= max_replicas; ++replicas) {
+      LinearRoadModelConfig model_config;
+      model_config.processing_replicas = replicas;
+      auto model = MakeLinearRoadModel(model_config, &registry);
+      CAESAR_CHECK_OK(model.status());
+      RunStats ca = bench::RunExperiment(model.value(), stream,
+                                         bench::PlanMode::kOptimized, accel);
+      RunStats ci = bench::RunExperiment(
+          model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+      table.Row({bench::FmtInt(replicas * 4), bench::Fmt(ca.max_latency),
+                 bench::Fmt(ci.max_latency),
+                 bench::Fmt(ci.max_latency / ca.max_latency, 1),
+                 bench::Fmt(ci.cpu_seconds / ca.cpu_seconds, 1),
+                 bench::FmtInt(static_cast<int64_t>(ca.ops_executed)),
+                 bench::FmtInt(static_cast<int64_t>(ci.ops_executed))});
+    }
+  }
+
+  {
+    std::printf("\n--- Physical Activity Monitoring ---\n");
+    PamapConfig config;
+    config.num_subjects = pam_subjects;
+    config.duration = pam_duration;
+    // Keep the exercise phases covering ~20% of the (scaled-down) run, as
+    // in the full-length data set.
+    config.exercise_phases_per_subject = 2.0;
+    config.exercise_duration = pam_duration / 10;
+    config.seed = seed;
+    TypeRegistry registry;
+    EventBatch stream = GeneratePamapStream(config, &registry);
+
+    bench::Table table(
+        {"queries", "ca_lat_s", "ci_lat_s", "win_ratio", "cpu_ratio", "ca_ops", "ci_ops"});
+    for (int queries = 4; queries <= max_replicas * 4; queries += 4) {
+      PamapModelConfig model_config;
+      model_config.active_queries = queries;
+      auto model = MakePamapModel(model_config, &registry);
+      CAESAR_CHECK_OK(model.status());
+      RunStats ca = bench::RunExperiment(model.value(), stream,
+                                         bench::PlanMode::kOptimized, accel);
+      RunStats ci = bench::RunExperiment(
+          model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+      table.Row({bench::FmtInt(queries), bench::Fmt(ca.max_latency),
+                 bench::Fmt(ci.max_latency),
+                 bench::Fmt(ci.max_latency / ca.max_latency, 1),
+                 bench::Fmt(ci.cpu_seconds / ca.cpu_seconds, 1),
+                 bench::FmtInt(static_cast<int64_t>(ca.ops_executed)),
+                 bench::FmtInt(static_cast<int64_t>(ci.ops_executed))});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caesar
+
+int main(int argc, char** argv) { return caesar::Main(argc, argv); }

@@ -1,0 +1,60 @@
+// Reproduces Fig. 12(b): maximal latency of context-aware vs
+// context-independent processing while scaling the input event stream rate
+// (number of roads). The paper reports ~9x at 7 roads.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness.h"
+#include "workloads/linear_road.h"
+
+namespace caesar {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  int max_roads = static_cast<int>(flags.Int("max_roads", 7));
+  int segments = static_cast<int>(flags.Int("segments", 10));
+  Timestamp duration = flags.Int("duration", 900);
+  int replicas = static_cast<int>(flags.Int("replicas", 3));
+  double accel = flags.Double("accel", 2000.0);
+  uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  flags.Validate();
+
+  bench::Banner("Scaling the event stream rate",
+                "Fig. 12(b): max latency over the number of roads, "
+                "context-aware (CA) vs context-independent (CI); paper: ~9x "
+                "at 7 roads");
+
+  LinearRoadModelConfig model_config;
+  model_config.processing_replicas = replicas;
+
+  bench::Table table(
+      {"roads", "events", "ca_lat_s", "ci_lat_s", "win_ratio", "cpu_ratio"});
+  for (int roads = 2; roads <= max_roads; ++roads) {
+    LinearRoadConfig config;
+    config.num_xways = roads;
+    config.num_segments = segments;
+    config.duration = duration;
+    config.seed = seed;
+    TypeRegistry registry;
+    EventBatch stream = GenerateLinearRoadStream(config, &registry);
+    auto model = MakeLinearRoadModel(model_config, &registry);
+    CAESAR_CHECK_OK(model.status());
+    RunStats ca = bench::RunExperiment(model.value(), stream,
+                                       bench::PlanMode::kOptimized, accel);
+    RunStats ci = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+    table.Row({bench::FmtInt(roads),
+               bench::FmtInt(static_cast<int64_t>(stream.size())),
+               bench::Fmt(ca.max_latency), bench::Fmt(ci.max_latency),
+               bench::Fmt(ci.max_latency / ca.max_latency, 1),
+               bench::Fmt(ci.cpu_seconds / ca.cpu_seconds, 1)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caesar
+
+int main(int argc, char** argv) { return caesar::Main(argc, argv); }

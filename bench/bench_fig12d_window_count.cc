@@ -1,0 +1,60 @@
+// Reproduces Fig. 12(d): win ratio of context-aware over
+// context-independent processing while varying the number of context
+// windows (fixed length). More windows cover more of the stream, shrinking
+// the suspendable share; the paper's shape: win ratio above ~2 while the
+// suspendable share exceeds 80%, negligible below 50%.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness.h"
+#include "workloads/synthetic.h"
+
+namespace caesar {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  Timestamp duration = flags.Int("duration", 1500);
+  Timestamp length = flags.Int("win_len", 60);
+  int queries = static_cast<int>(flags.Int("queries", 6));
+  int events_per_tick = static_cast<int>(flags.Int("events_per_tick", 2));
+  double accel = flags.Double("accel", 400.0);
+  flags.Validate();
+
+  bench::Banner("Varying the number of context windows",
+                "Fig. 12(d): CA-over-CI win ratio with the % of the stream "
+                "allowing suspension annotated per row");
+
+  bench::Table table({"windows", "suspend_pct", "ca_lat_s", "ci_lat_s",
+                      "win_ratio", "cpu_ratio"});
+  for (int count : {1, 4, 8, 12, 16, 20}) {
+    SyntheticConfig config;
+    config.duration = duration;
+    config.events_per_tick = events_per_tick;
+    config.windows = PlaceWindows(count, length, duration, 0);
+    config.assignment = SyntheticConfig::QueryAssignment::kAllWindows;
+    config.queries_per_window = queries;
+    config.query_within = 30;
+    TypeRegistry registry;
+    EventBatch stream = GenerateSyntheticStream(config, &registry);
+    auto model = MakeSyntheticModel(config, &registry);
+    CAESAR_CHECK_OK(model.status());
+    RunStats ca = bench::RunExperiment(model.value(), stream,
+                                       bench::PlanMode::kOptimized, accel);
+    RunStats ci = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+    double suspendable = 1.0 - WindowCoverage(config);
+    table.Row({bench::FmtInt(count),
+               bench::Fmt(100.0 * suspendable, 0) + "%",
+               bench::Fmt(ca.max_latency), bench::Fmt(ci.max_latency),
+               bench::Fmt(ci.max_latency / ca.max_latency, 1),
+               bench::Fmt(ci.cpu_seconds / ca.cpu_seconds, 1)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caesar
+
+int main(int argc, char** argv) { return caesar::Main(argc, argv); }

@@ -1,0 +1,61 @@
+// Reproduces Fig. 14(a): maximal latency of shared vs non-shared execution
+// while varying the number of overlapping context windows. The defaults
+// follow the paper's setup (windows of 15 "minutes" overlapping by 10, 4
+// queries each), scaled to ticks. The paper reports a ~10x gain at 45
+// overlapping windows; the gain growing with the overlap count is the
+// shape under test.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness.h"
+#include "workloads/synthetic.h"
+
+namespace caesar {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  Timestamp length = flags.Int("win_len", 150);
+  Timestamp overlap = flags.Int("overlap", 100);
+  int queries = static_cast<int>(flags.Int("queries", 4));
+  int events_per_tick = static_cast<int>(flags.Int("events_per_tick", 3));
+  int max_windows = static_cast<int>(flags.Int("max_windows", 45));
+  double accel = flags.Double("accel", 2000.0);
+  flags.Validate();
+
+  bench::Banner("Sharing across overlapping context windows",
+                "Fig. 14(a): max latency, shared vs non-shared, over the "
+                "number of overlapping windows; paper: ~10x at 45");
+
+  bench::Table table({"windows", "shared_s", "nonshared_s", "gain", "cpu_gain",
+                      "sh_ops", "ns_ops"});
+  for (int count = 5; count <= max_windows; count += 10) {
+    SyntheticConfig config;
+    config.windows = LayOutWindows(count, length, overlap, 50);
+    config.duration = config.windows.back().end + 100;
+    config.events_per_tick = events_per_tick;
+    config.queries_per_window = queries;
+    config.assignment = SyntheticConfig::QueryAssignment::kPerWindowCopies;
+    TypeRegistry registry;
+    EventBatch stream = GenerateSyntheticStream(config, &registry);
+    auto model = MakeSyntheticModel(config, &registry);
+    CAESAR_CHECK_OK(model.status());
+    RunStats shared = bench::RunExperiment(model.value(), stream,
+                                           bench::PlanMode::kOptimized, accel);
+    RunStats nonshared = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kNonShared, accel);
+    table.Row({bench::FmtInt(count), bench::Fmt(shared.max_latency),
+               bench::Fmt(nonshared.max_latency),
+               bench::Fmt(nonshared.max_latency / shared.max_latency, 1),
+               bench::Fmt(nonshared.cpu_seconds / shared.cpu_seconds, 1),
+               bench::FmtInt(static_cast<int64_t>(shared.ops_executed)),
+               bench::FmtInt(static_cast<int64_t>(nonshared.ops_executed))});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caesar
+
+int main(int argc, char** argv) { return caesar::Main(argc, argv); }

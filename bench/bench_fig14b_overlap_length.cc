@@ -1,0 +1,59 @@
+// Reproduces Fig. 14(b): maximal latency of shared vs non-shared execution
+// while varying the length of the context-window overlap (0..16 "minutes"
+// in the paper, here ticks). Longer overlaps mean more duplicated work for
+// the non-shared execution; the paper reports a ~6x gain at 15 minutes of
+// overlap, growing linearly with the overlap length.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness.h"
+#include "workloads/synthetic.h"
+
+namespace caesar {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  Timestamp length = flags.Int("win_len", 150);
+  int windows = static_cast<int>(flags.Int("windows", 30));
+  int queries = static_cast<int>(flags.Int("queries", 4));
+  int events_per_tick = static_cast<int>(flags.Int("events_per_tick", 3));
+  double accel = flags.Double("accel", 2000.0);
+  flags.Validate();
+
+  bench::Banner("Varying the context window overlap length",
+                "Fig. 14(b): max latency, shared vs non-shared, over the "
+                "overlap length; paper: ~6x at 15 min overlap");
+
+  bench::Table table(
+      {"overlap", "shared_s", "nonshared_s", "gain", "cpu_gain", "sh_ops", "ns_ops"});
+  for (Timestamp overlap : {0, 20, 40, 60, 80, 100, 120, 140}) {
+    SyntheticConfig config;
+    config.windows = LayOutWindows(windows, length, overlap, 50);
+    config.duration = config.windows.back().end + 100;
+    config.events_per_tick = events_per_tick;
+    config.queries_per_window = queries;
+    config.assignment = SyntheticConfig::QueryAssignment::kPerWindowCopies;
+    TypeRegistry registry;
+    EventBatch stream = GenerateSyntheticStream(config, &registry);
+    auto model = MakeSyntheticModel(config, &registry);
+    CAESAR_CHECK_OK(model.status());
+    RunStats shared = bench::RunExperiment(model.value(), stream,
+                                           bench::PlanMode::kOptimized, accel);
+    RunStats nonshared = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kNonShared, accel);
+    table.Row({bench::FmtInt(overlap), bench::Fmt(shared.max_latency),
+               bench::Fmt(nonshared.max_latency),
+               bench::Fmt(nonshared.max_latency / shared.max_latency, 1),
+               bench::Fmt(nonshared.cpu_seconds / shared.cpu_seconds, 1),
+               bench::FmtInt(static_cast<int64_t>(shared.ops_executed)),
+               bench::FmtInt(static_cast<int64_t>(nonshared.ops_executed))});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caesar
+
+int main(int argc, char** argv) { return caesar::Main(argc, argv); }

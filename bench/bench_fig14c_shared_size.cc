@@ -1,0 +1,75 @@
+// Reproduces Fig. 14(c): maximal latency of shared vs non-shared execution
+// while varying the shared workload size (queries per context window). Two
+// stream profiles stand in for the paper's two data sets: an LR-like
+// profile (few partitions, high per-partition rate) and a PAM-like profile
+// (many partitions — subjects — at a lower per-partition rate). The paper
+// reports a ~9x gain at 10 shared queries on Linear Road, with a similar
+// trend on the PAM data set.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "harness.h"
+#include "workloads/synthetic.h"
+
+namespace caesar {
+namespace {
+
+void RunProfile(const std::string& label, int partitions, int events_per_tick,
+                int windows, Timestamp length, Timestamp overlap,
+                double accel) {
+  std::printf("--- %s profile ---\n", label.c_str());
+  bench::Table table(
+      {"queries", "shared_s", "nonshared_s", "gain", "cpu_gain", "sh_ops", "ns_ops"});
+  for (int queries = 2; queries <= 10; queries += 2) {
+    SyntheticConfig config;
+    config.windows = LayOutWindows(windows, length, overlap, 50);
+    config.duration = config.windows.back().end + 100;
+    config.num_partitions = partitions;
+    config.events_per_tick = events_per_tick;
+    config.query_within = 30;
+    config.queries_per_window = queries;
+    config.assignment = SyntheticConfig::QueryAssignment::kPerWindowCopies;
+    TypeRegistry registry;
+    EventBatch stream = GenerateSyntheticStream(config, &registry);
+    auto model = MakeSyntheticModel(config, &registry);
+    CAESAR_CHECK_OK(model.status());
+    RunStats shared = bench::RunExperiment(model.value(), stream,
+                                           bench::PlanMode::kOptimized, accel);
+    RunStats nonshared = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kNonShared, accel);
+    table.Row({bench::FmtInt(queries), bench::Fmt(shared.max_latency),
+               bench::Fmt(nonshared.max_latency),
+               bench::Fmt(nonshared.max_latency / shared.max_latency, 1),
+               bench::Fmt(nonshared.cpu_seconds / shared.cpu_seconds, 1),
+               bench::FmtInt(static_cast<int64_t>(shared.ops_executed)),
+               bench::FmtInt(static_cast<int64_t>(nonshared.ops_executed))});
+  }
+  std::printf("\n");
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  int windows = static_cast<int>(flags.Int("windows", 12));
+  Timestamp length = flags.Int("win_len", 150);
+  Timestamp overlap = flags.Int("overlap", 100);
+  double accel = flags.Double("accel", 2000.0);
+  flags.Validate();
+
+  bench::Banner("Varying the shared workload size",
+                "Fig. 14(c): max latency, shared vs non-shared, over the "
+                "number of shareable queries per window; paper: ~9x at 10 "
+                "(LR), similar trend on PAM");
+
+  RunProfile("Linear-Road-like", /*partitions=*/2, /*events_per_tick=*/2,
+             windows, length, overlap, accel);
+  RunProfile("PAM-like", /*partitions=*/6, /*events_per_tick=*/1, windows,
+             length, overlap, accel);
+  return 0;
+}
+
+}  // namespace
+}  // namespace caesar
+
+int main(int argc, char** argv) { return caesar::Main(argc, argv); }

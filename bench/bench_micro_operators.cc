@@ -1,0 +1,204 @@
+// Micro-benchmarks of the CAESAR algebra operators and runtime primitives
+// (google-benchmark): per-event costs of filter, projection, sequence
+// matching (with and without pushed predicates), sliding aggregation, the
+// context bit vector, and expression evaluation. These numbers ground the
+// cost model's relative unit costs.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algebra/aggregate_op.h"
+#include "algebra/basic_ops.h"
+#include "algebra/context_ops.h"
+#include "algebra/pattern_op.h"
+#include "common/rng.h"
+#include "expr/compiled.h"
+#include "expr/parser.h"
+#include "runtime/context_vector.h"
+
+namespace caesar {
+namespace {
+
+// Shared fixture data: a Reading(seg, value, sec) stream.
+class OperatorBench {
+ public:
+  OperatorBench() : contexts_(4, 0) {
+    type_ = registry_.RegisterOrGet("R", {{"seg", ValueType::kInt},
+                                          {"value", ValueType::kInt},
+                                          {"sec", ValueType::kInt}});
+    ctx_.contexts = &contexts_;
+    ctx_.registry = &registry_;
+    ctx_.ops_counter = &ops_;
+    Rng rng(7);
+    for (Timestamp t = 0; t < 4096; ++t) {
+      batch_.push_back(MakeEvent(
+          type_, t, {Value(int64_t{1}), Value(rng.Uniform(0, 9)), Value(t)}));
+    }
+  }
+
+  std::shared_ptr<const CompiledExpr> Predicate(const std::string& text,
+                                                const BindingSet& bindings) {
+    auto expr = ParseExpr(text);
+    auto compiled = Compile(expr.value(), bindings);
+    return std::shared_ptr<const CompiledExpr>(std::move(compiled).value());
+  }
+
+  BindingSet OneVar(const char* name) {
+    BindingSet bindings;
+    bindings.Add({name, type_, &registry_.type(type_).schema});
+    return bindings;
+  }
+
+  TypeRegistry registry_;
+  TypeId type_;
+  ContextBitVector contexts_;
+  uint64_t ops_ = 0;
+  OpExecContext ctx_;
+  EventBatch batch_;
+};
+
+OperatorBench& Fixture() {
+  static OperatorBench* fixture = new OperatorBench();
+  return *fixture;
+}
+
+void BM_FilterOp(benchmark::State& state) {
+  OperatorBench& fx = Fixture();
+  FilterOp filter(fx.Predicate("r.value > 4", fx.OneVar("r")));
+  for (auto _ : state) {
+    EventBatch out;
+    filter.Process(fx.batch_, &out, &fx.ctx_);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.batch_.size());
+}
+BENCHMARK(BM_FilterOp);
+
+void BM_ProjectionOp(benchmark::State& state) {
+  OperatorBench& fx = Fixture();
+  TypeId out_type = fx.registry_.RegisterOrGet(
+      "Out", {{"value", ValueType::kInt}});
+  ProjectionOp projection(out_type, {fx.Predicate("r.value", fx.OneVar("r"))});
+  for (auto _ : state) {
+    EventBatch out;
+    projection.Process(fx.batch_, &out, &fx.ctx_);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.batch_.size());
+}
+BENCHMARK(BM_ProjectionOp);
+
+std::unique_ptr<PatternOp> MakeSeq(OperatorBench& fx, bool pushed) {
+  BindingSet bindings;
+  bindings.Add({"a", fx.type_, &fx.registry_.type(fx.type_).schema});
+  bindings.Add({"b", fx.type_, &fx.registry_.type(fx.type_).schema});
+  auto config = std::make_shared<PatternOpConfig>();
+  config->positions.push_back({fx.type_, false, {}});
+  PatternOpConfig::Position second;
+  second.type_id = fx.type_;
+  if (pushed) {
+    second.predicates.push_back(fx.Predicate("a.value = b.value", bindings));
+  }
+  config->positions.push_back(std::move(second));
+  config->within = 32;
+  config->output_type = fx.registry_.RegisterOrGet(
+      "$bench_seq", {{"a.seg", ValueType::kInt},
+                     {"a.value", ValueType::kInt},
+                     {"a.sec", ValueType::kInt},
+                     {"b.seg", ValueType::kInt},
+                     {"b.value", ValueType::kInt},
+                     {"b.sec", ValueType::kInt}});
+  config->description = "SEQ(R a, R b)";
+  return std::make_unique<PatternOp>(config);
+}
+
+void BM_SeqPatternPushedPredicates(benchmark::State& state) {
+  OperatorBench& fx = Fixture();
+  for (auto _ : state) {
+    auto seq = MakeSeq(fx, /*pushed=*/true);
+    EventBatch out;
+    seq->Process(fx.batch_, &out, &fx.ctx_);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.batch_.size());
+}
+BENCHMARK(BM_SeqPatternPushedPredicates);
+
+void BM_SeqPatternUnpushed(benchmark::State& state) {
+  OperatorBench& fx = Fixture();
+  for (auto _ : state) {
+    auto seq = MakeSeq(fx, /*pushed=*/false);
+    EventBatch out;
+    seq->Process(fx.batch_, &out, &fx.ctx_);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.batch_.size());
+}
+BENCHMARK(BM_SeqPatternUnpushed);
+
+void BM_AggregateOp(benchmark::State& state) {
+  OperatorBench& fx = Fixture();
+  auto config = std::make_shared<AggregateOpConfig>();
+  config->input_type = fx.type_;
+  config->group_by = {0};
+  config->aggregates = {{AggregateFunc::kCount, -1}, {AggregateFunc::kAvg, 1}};
+  config->window_length = 64;
+  config->output_type = fx.registry_.RegisterOrGet(
+      "$bench_agg", {{"seg", ValueType::kInt},
+                     {"cnt", ValueType::kInt},
+                     {"avg", ValueType::kDouble}});
+  config->description = "bench";
+  for (auto _ : state) {
+    AggregateOp agg(config);
+    EventBatch out;
+    agg.Process(fx.batch_, &out, &fx.ctx_);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.batch_.size());
+}
+BENCHMARK(BM_AggregateOp);
+
+void BM_ContextWindowProbe(benchmark::State& state) {
+  OperatorBench& fx = Fixture();
+  ContextWindowOp window({1}, "bench");
+  fx.contexts_.Initiate(1, 0);
+  for (auto _ : state) {
+    EventBatch out;
+    window.Process(fx.batch_, &out, &fx.ctx_);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.batch_.size());
+}
+BENCHMARK(BM_ContextWindowProbe);
+
+void BM_ContextBitVectorTransitions(benchmark::State& state) {
+  ContextBitVector vector(16, 0);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    vector.Initiate(3, ++t);
+    vector.Initiate(5, ++t);
+    benchmark::DoNotOptimize(vector.IsActive(5));
+    vector.Terminate(3, ++t);
+    vector.Terminate(5, ++t);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ContextBitVectorTransitions);
+
+void BM_ExpressionEval(benchmark::State& state) {
+  OperatorBench& fx = Fixture();
+  auto predicate =
+      fx.Predicate("r.value * 2 + 1 > 5 AND r.seg = 1", fx.OneVar("r"));
+  EventPtr event = fx.batch_[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predicate->EvalBool(&event));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpressionEval);
+
+}  // namespace
+}  // namespace caesar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Quickstart: the smallest complete CAESAR application.
+//
+// A temperature sensor stream drives two contexts — `normal` (default) and
+// `overheated` — and one alert query that only runs while the system is
+// overheated. The model is written in the CAESAR query language, optimized
+// (context window push-down), and executed over a small generated stream.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "event/event.h"
+#include "event/schema.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "runtime/engine.h"
+
+namespace {
+
+constexpr char kModel[] = R"(
+CONTEXTS normal, overheated DEFAULT normal;
+PARTITION BY sensor;
+
+QUERY detect_overheat
+SWITCH CONTEXT overheated
+PATTERN Temperature t
+WHERE t.celsius > 90
+CONTEXT normal;
+
+QUERY detect_cooldown
+SWITCH CONTEXT normal
+PATTERN Temperature t
+WHERE t.celsius <= 75
+CONTEXT overheated;
+
+QUERY alert
+DERIVE OverheatAlert(t.sensor AS sensor, t.celsius AS celsius, t.sec AS sec)
+PATTERN Temperature t
+WHERE t.celsius > 95
+CONTEXT overheated;
+)";
+
+}  // namespace
+
+int main() {
+  using namespace caesar;
+
+  // 1. Register the input event type.
+  TypeRegistry registry;
+  TypeId temperature =
+      registry.RegisterOrGet("Temperature", {{"sensor", ValueType::kInt},
+                                             {"celsius", ValueType::kDouble},
+                                             {"sec", ValueType::kInt}});
+
+  // 2. Parse the context-aware model and build an optimized plan.
+  Result<CaesarModel> model = ParseModel(kModel, &registry);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  Result<ExecutablePlan> plan = OptimizeModel(model.value(), OptimizerOptions());
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Run a stream through the engine.
+  Engine engine(std::move(plan).value(), EngineOptions());
+  EventBatch input;
+  const double readings[] = {70, 80, 93, 97, 99, 85, 70, 65, 98, 72};
+  for (int t = 0; t < 10; ++t) {
+    input.push_back(MakeEvent(
+        temperature, t,
+        {Value(int64_t{1}), Value(readings[t]), Value(int64_t{t})}));
+  }
+  EventBatch alerts;
+  RunStats stats = engine.Run(input, &alerts);
+
+  // 4. Inspect the derived complex events.
+  std::printf("derived %lld alert(s):\n",
+              static_cast<long long>(stats.derived_events));
+  for (const EventPtr& alert : alerts) {
+    std::printf("  %s\n", alert->ToString(registry).c_str());
+  }
+  std::printf("\n%lld of %lld query executions were suspended "
+              "(context-aware savings)\n",
+              static_cast<long long>(stats.suspended_chains),
+              static_cast<long long>(stats.suspended_chains +
+                                     stats.executed_chains));
+  // Expected output: alerts at t=3 (97), t=4 (99) and t=8 (98 re-enters
+  // `overheated` at the same time stamp, since context derivation runs
+  // before context processing).
+  return 0;
+}

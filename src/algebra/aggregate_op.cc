@@ -1,0 +1,146 @@
+#include "algebra/aggregate_op.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace caesar {
+
+namespace {
+
+size_t HashKey(const std::vector<Value>& key) {
+  size_t hash = 0xcbf29ce484222325ULL;
+  for (const Value& value : key) {
+    hash = (hash ^ value.Hash()) * 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+AggregateOp::AggregateOp(std::shared_ptr<const AggregateOpConfig> config)
+    : Operator(Kind::kAggregate), config_(std::move(config)) {
+  CAESAR_CHECK_GT(config_->window_length, 0);
+  CAESAR_CHECK(!config_->aggregates.empty());
+}
+
+void AggregateOp::Process(const EventBatch& input, EventBatch* output,
+                          OpExecContext* ctx) {
+  const auto& cfg = *config_;
+  for (const EventPtr& event : input) {
+    if (event->type_id() != cfg.input_type) continue;
+    ctx->CountWork(1);
+
+    // Group lookup / creation.
+    std::vector<Value> key;
+    key.reserve(cfg.group_by.size());
+    for (int attr : cfg.group_by) key.push_back(event->value(attr));
+    size_t hash = HashKey(key);
+    std::vector<Group>& bucket = groups_[hash];
+    Group* group = nullptr;
+    for (Group& candidate : bucket) {
+      if (candidate.key == key) {
+        group = &candidate;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.emplace_back();
+      group = &bucket.back();
+      group->key = std::move(key);
+      group->sums.assign(cfg.aggregates.size(), 0.0);
+    }
+
+    // Insert the sample and evict expired ones.
+    Sample sample;
+    sample.time = event->time();
+    sample.values.reserve(cfg.aggregates.size());
+    for (const auto& agg : cfg.aggregates) {
+      double v = 0.0;
+      if (agg.attr_index >= 0) {
+        const Value& value = event->value(agg.attr_index);
+        v = value.is_numeric() ? value.ToDouble() : 0.0;
+      }
+      sample.values.push_back(v);
+    }
+    for (size_t a = 0; a < cfg.aggregates.size(); ++a) {
+      group->sums[a] += sample.values[a];
+    }
+    group->samples.push_back(std::move(sample));
+    Evict(group, event->time() - cfg.window_length);
+
+    // Emit when HAVING passes.
+    std::vector<Value> outputs = ComputeOutputs(*group);
+    EventPtr result = MakeEvent(cfg.output_type, event->time(),
+                                std::move(outputs));
+    if (cfg.having != nullptr) {
+      ctx->CountWork(1);
+      if (!cfg.having->EvalBool(&result)) continue;
+    }
+    output->push_back(std::move(result));
+  }
+}
+
+void AggregateOp::Evict(Group* group, Timestamp horizon) {
+  while (!group->samples.empty() && group->samples.front().time <= horizon) {
+    const Sample& old = group->samples.front();
+    for (size_t a = 0; a < config_->aggregates.size(); ++a) {
+      group->sums[a] -= old.values[a];
+    }
+    group->samples.pop_front();
+  }
+}
+
+std::vector<Value> AggregateOp::ComputeOutputs(const Group& group) const {
+  const auto& cfg = *config_;
+  std::vector<Value> outputs = group.key;
+  outputs.reserve(group.key.size() + cfg.aggregates.size());
+  int64_t count = static_cast<int64_t>(group.samples.size());
+  for (size_t a = 0; a < cfg.aggregates.size(); ++a) {
+    switch (cfg.aggregates[a].func) {
+      case AggregateFunc::kCount:
+        outputs.push_back(Value(count));
+        break;
+      case AggregateFunc::kSum:
+        outputs.push_back(Value(group.sums[a]));
+        break;
+      case AggregateFunc::kAvg:
+        outputs.push_back(
+            Value(count == 0 ? 0.0 : group.sums[a] / count));
+        break;
+      case AggregateFunc::kMin:
+      case AggregateFunc::kMax: {
+        double best = cfg.aggregates[a].func == AggregateFunc::kMin
+                          ? std::numeric_limits<double>::infinity()
+                          : -std::numeric_limits<double>::infinity();
+        for (const Sample& sample : group.samples) {
+          best = cfg.aggregates[a].func == AggregateFunc::kMin
+                     ? std::min(best, sample.values[a])
+                     : std::max(best, sample.values[a]);
+        }
+        outputs.push_back(Value(count == 0 ? 0.0 : best));
+        break;
+      }
+    }
+  }
+  return outputs;
+}
+
+void AggregateOp::Reset() { groups_.clear(); }
+
+void AggregateOp::ExpireBefore(Timestamp t) {
+  for (auto& [hash, bucket] : groups_) {
+    for (Group& group : bucket) Evict(&group, t - 1);
+  }
+}
+
+std::unique_ptr<Operator> AggregateOp::Clone() const {
+  return std::make_unique<AggregateOp>(config_);
+}
+
+std::string AggregateOp::DebugString() const {
+  return "Aggregate: " + config_->description;
+}
+
+}  // namespace caesar

@@ -1,0 +1,79 @@
+// Sliding-window grouped aggregation (extension to the paper's six-operator
+// algebra; see query/model.h for why the Linear Road context deriving
+// queries need it — e.g. "over 50 cars per minute with an average speed
+// below 40 mph" in Section 1).
+//
+// For each input event, the group identified by the group-by attributes is
+// updated, events older than `window_length` are evicted, and — if the
+// HAVING predicate passes (or is absent) — one output event is emitted with
+// the group key and the aggregate values.
+
+#ifndef CAESAR_ALGEBRA_AGGREGATE_OP_H_
+#define CAESAR_ALGEBRA_AGGREGATE_OP_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "expr/compiled.h"
+#include "query/model.h"
+
+namespace caesar {
+
+// Immutable configuration shared across per-partition clones.
+struct AggregateOpConfig {
+  TypeId input_type = kInvalidTypeId;
+  TypeId output_type = kInvalidTypeId;
+  std::vector<int> group_by;  // attribute indices of the input schema
+  struct Agg {
+    AggregateFunc func;
+    int attr_index = -1;  // -1 for COUNT(*)
+  };
+  std::vector<Agg> aggregates;
+  Timestamp window_length = 0;
+  // HAVING predicate compiled against the output schema (group-by columns
+  // followed by aggregate columns); may be null.
+  std::shared_ptr<const CompiledExpr> having;
+  std::string description;
+};
+
+class AggregateOp : public Operator {
+ public:
+  explicit AggregateOp(std::shared_ptr<const AggregateOpConfig> config);
+
+  void Process(const EventBatch& input, EventBatch* output,
+               OpExecContext* ctx) override;
+  std::unique_ptr<Operator> Clone() const override;
+  void Reset() override;
+  void ExpireBefore(Timestamp t) override;
+  std::string DebugString() const override;
+  double UnitCost() const override { return 2.0; }
+
+  const AggregateOpConfig& config() const { return *config_; }
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct Sample {
+    Timestamp time;
+    std::vector<double> values;  // one per aggregate (0 for COUNT)
+  };
+  struct Group {
+    std::vector<Value> key;
+    std::deque<Sample> samples;
+    // Incrementally maintained sums (COUNT/SUM/AVG); MIN/MAX scan samples.
+    std::vector<double> sums;
+  };
+
+  void Evict(Group* group, Timestamp horizon);
+  std::vector<Value> ComputeOutputs(const Group& group) const;
+
+  std::shared_ptr<const AggregateOpConfig> config_;
+  std::unordered_map<size_t, std::vector<Group>> groups_;  // by key hash
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_ALGEBRA_AGGREGATE_OP_H_

@@ -1,0 +1,25 @@
+#include "algebra/operator.h"
+
+namespace caesar {
+
+const char* OperatorKindName(Operator::Kind kind) {
+  switch (kind) {
+    case Operator::Kind::kPattern:
+      return "Pattern";
+    case Operator::Kind::kFilter:
+      return "Filter";
+    case Operator::Kind::kProjection:
+      return "Projection";
+    case Operator::Kind::kContextWindow:
+      return "ContextWindow";
+    case Operator::Kind::kContextInit:
+      return "ContextInit";
+    case Operator::Kind::kContextTerm:
+      return "ContextTerm";
+    case Operator::Kind::kAggregate:
+      return "Aggregate";
+  }
+  return "?";
+}
+
+}  // namespace caesar

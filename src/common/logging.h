@@ -1,0 +1,101 @@
+// Minimal logging and assertion macros used throughout CAESAR.
+//
+// CAESAR_CHECK* abort the process on violated invariants (programming
+// errors); recoverable failures are reported via Status (common/status.h).
+
+#ifndef CAESAR_COMMON_LOGGING_H_
+#define CAESAR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace caesar {
+namespace internal {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+// Accumulates a message and emits it to stderr on destruction; aborts the
+// process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == LogSeverity::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* SeverityName(LogSeverity severity) {
+    switch (severity) {
+      case LogSeverity::kInfo:
+        return "INFO";
+      case LogSeverity::kWarning:
+        return "WARN";
+      case LogSeverity::kError:
+        return "ERROR";
+      case LogSeverity::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace caesar
+
+#define CAESAR_LOG_INFO                                             \
+  ::caesar::internal::LogMessage(::caesar::internal::LogSeverity::kInfo, \
+                                 __FILE__, __LINE__)                \
+      .stream()
+#define CAESAR_LOG_WARNING                                             \
+  ::caesar::internal::LogMessage(::caesar::internal::LogSeverity::kWarning, \
+                                 __FILE__, __LINE__)                   \
+      .stream()
+#define CAESAR_LOG_ERROR                                             \
+  ::caesar::internal::LogMessage(::caesar::internal::LogSeverity::kError, \
+                                 __FILE__, __LINE__)                 \
+      .stream()
+#define CAESAR_LOG_FATAL                                             \
+  ::caesar::internal::LogMessage(::caesar::internal::LogSeverity::kFatal, \
+                                 __FILE__, __LINE__)                 \
+      .stream()
+
+// Aborts with a message when `condition` is false.
+#define CAESAR_CHECK(condition)                                  \
+  if (!(condition)) CAESAR_LOG_FATAL << "Check failed: " #condition " "
+
+#define CAESAR_CHECK_EQ(a, b) CAESAR_CHECK((a) == (b))
+#define CAESAR_CHECK_NE(a, b) CAESAR_CHECK((a) != (b))
+#define CAESAR_CHECK_LT(a, b) CAESAR_CHECK((a) < (b))
+#define CAESAR_CHECK_LE(a, b) CAESAR_CHECK((a) <= (b))
+#define CAESAR_CHECK_GT(a, b) CAESAR_CHECK((a) > (b))
+#define CAESAR_CHECK_GE(a, b) CAESAR_CHECK((a) >= (b))
+
+// Aborts when a Status-returning expression fails.
+#define CAESAR_CHECK_OK(expr)                                   \
+  do {                                                          \
+    ::caesar::Status caesar_check_status_ = (expr);             \
+    if (!caesar_check_status_.ok())                             \
+      CAESAR_LOG_FATAL << "Status not OK: "                     \
+                       << caesar_check_status_.ToString();      \
+  } while (false)
+
+#endif  // CAESAR_COMMON_LOGGING_H_

@@ -1,0 +1,84 @@
+// Streaming statistics utilities: running moments, fixed-bucket histograms,
+// and the latency tracker the experiments report from.
+
+#ifndef CAESAR_COMMON_STATS_H_
+#define CAESAR_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace caesar {
+
+// Count / mean / min / max over a stream of doubles in O(1) space.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over [lo, hi) with `num_buckets` equal-width buckets plus
+// underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_buckets);
+
+  void Add(double x);
+
+  int64_t bucket_count(int i) const { return buckets_[i]; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return total_; }
+
+  // Approximate quantile (q in [0, 1]) from bucket midpoints.
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+// Tracks end-to-end latencies (seconds) of derived complex events; the
+// paper's headline metric is the maximum.
+class LatencyTracker {
+ public:
+  void Record(double latency_seconds) { stats_.Add(latency_seconds); }
+
+  double max_latency() const { return stats_.max(); }
+  double mean_latency() const { return stats_.mean(); }
+  int64_t count() const { return stats_.count(); }
+
+ private:
+  RunningStats stats_;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_COMMON_STATS_H_

@@ -1,0 +1,127 @@
+// Status and Result<T>: error handling without exceptions.
+//
+// Library code in CAESAR never throws. Fallible operations return a Status
+// (or a Result<T> when they also produce a value). Programming errors are
+// caught with CAESAR_CHECK (common/logging.h) which aborts.
+
+#ifndef CAESAR_COMMON_STATUS_H_
+#define CAESAR_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace caesar {
+
+// Canonical error space, loosely modeled on absl::StatusCode.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+};
+
+// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// A Status holds either success (ok) or an error code plus message.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T> holds either a value of type T or a non-ok Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}   // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  // Requires ok(). The value accessors abort on misuse (programming error).
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  // Returns the error if !ok(), otherwise an OK status.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace caesar
+
+// Propagates a non-ok Status from an expression.
+#define CAESAR_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::caesar::Status caesar_status_ = (expr);       \
+    if (!caesar_status_.ok()) return caesar_status_; \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error propagates the Status,
+// otherwise assigns the value to `lhs`.
+#define CAESAR_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define CAESAR_INTERNAL_CONCAT(a, b) CAESAR_INTERNAL_CONCAT_IMPL(a, b)
+#define CAESAR_ASSIGN_OR_RETURN(lhs, expr) \
+  CAESAR_ASSIGN_OR_RETURN_IMPL(CAESAR_INTERNAL_CONCAT(caesar_result_, __LINE__), lhs, expr)
+#define CAESAR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // CAESAR_COMMON_STATUS_H_

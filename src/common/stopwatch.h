@@ -1,0 +1,37 @@
+// Wall-clock stopwatch used by the runtime to measure per-batch processing
+// cost and by the benchmark harness.
+
+#ifndef CAESAR_COMMON_STOPWATCH_H_
+#define CAESAR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace caesar {
+
+// Measures elapsed wall time with steady_clock. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_COMMON_STOPWATCH_H_

@@ -1,0 +1,45 @@
+#include "event/event.h"
+
+#include <sstream>
+
+namespace caesar {
+
+std::string Event::ToString(const TypeRegistry& registry) const {
+  std::ostringstream os;
+  const EventType& type = registry.type(type_id_);
+  os << type.name << "@";
+  if (start_time_ == end_time_) {
+    os << end_time_;
+  } else {
+    os << "[" << start_time_ << "," << end_time_ << "]";
+  }
+  os << "(";
+  for (int i = 0; i < num_values(); ++i) {
+    if (i > 0) os << ", ";
+    if (i < type.schema.num_attributes()) {
+      os << type.schema.attribute(i).name << "=";
+    }
+    os << values_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+EventPtr MakeEvent(TypeId type_id, Timestamp time, std::vector<Value> values) {
+  return std::make_shared<Event>(type_id, time, std::move(values));
+}
+
+EventPtr MakeComplexEvent(TypeId type_id, Timestamp start_time,
+                          Timestamp end_time, std::vector<Value> values) {
+  return std::make_shared<Event>(type_id, start_time, end_time,
+                                 std::move(values));
+}
+
+bool IsTimeOrdered(const EventBatch& batch) {
+  for (size_t i = 1; i < batch.size(); ++i) {
+    if (batch[i - 1]->time() > batch[i]->time()) return false;
+  }
+  return true;
+}
+
+}  // namespace caesar

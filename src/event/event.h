@@ -1,0 +1,80 @@
+// Events and event batches.
+//
+// Simple events carry a point occurrence time; complex events derived from a
+// pattern carry the interval spanning all contributing events (Section 2 of
+// the paper). Events are immutable after construction and shared between
+// operators via EventPtr.
+
+#ifndef CAESAR_EVENT_EVENT_H_
+#define CAESAR_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event/schema.h"
+#include "event/value.h"
+
+namespace caesar {
+
+// Application time stamp (the paper's linearly ordered (T, <=)). CAESAR uses
+// integer ticks; Linear Road uses one tick per second.
+using Timestamp = int64_t;
+
+// An immutable event instance.
+class Event {
+ public:
+  // Simple event occurring at `time`.
+  Event(TypeId type_id, Timestamp time, std::vector<Value> values)
+      : type_id_(type_id),
+        start_time_(time),
+        end_time_(time),
+        values_(std::move(values)) {}
+
+  // Complex event spanning [start_time, end_time].
+  Event(TypeId type_id, Timestamp start_time, Timestamp end_time,
+        std::vector<Value> values)
+      : type_id_(type_id),
+        start_time_(start_time),
+        end_time_(end_time),
+        values_(std::move(values)) {}
+
+  TypeId type_id() const { return type_id_; }
+
+  // Occurrence time used for ordering and window membership: the end of the
+  // occurrence interval (a complex event "happens" when it completes).
+  Timestamp time() const { return end_time_; }
+  Timestamp start_time() const { return start_time_; }
+  Timestamp end_time() const { return end_time_; }
+
+  int num_values() const { return static_cast<int>(values_.size()); }
+  const Value& value(int i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  std::string ToString(const TypeRegistry& registry) const;
+
+ private:
+  TypeId type_id_;
+  Timestamp start_time_;
+  Timestamp end_time_;
+  std::vector<Value> values_;
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+// Convenience constructors.
+EventPtr MakeEvent(TypeId type_id, Timestamp time, std::vector<Value> values);
+EventPtr MakeComplexEvent(TypeId type_id, Timestamp start_time,
+                          Timestamp end_time, std::vector<Value> values);
+
+// A batch of events sharing no particular property beyond arrival order;
+// the unit of data flow between operators and of context-aware routing.
+using EventBatch = std::vector<EventPtr>;
+
+// Returns true if all events in `batch` are ordered by non-decreasing time().
+bool IsTimeOrdered(const EventBatch& batch);
+
+}  // namespace caesar
+
+#endif  // CAESAR_EVENT_EVENT_H_

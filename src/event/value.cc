@@ -1,0 +1,92 @@
+#include "event/value.h"
+
+#include <functional>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace caesar {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+      return AsInt() == other.AsInt();
+    }
+    return ToDouble() == other.ToDouble();
+  }
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kString:
+      return AsString() == other.AsString();
+    default:
+      return false;  // Unreachable: numeric handled above.
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble(), b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  CAESAR_CHECK(type() == ValueType::kString &&
+               other.type() == ValueType::kString)
+      << "incomparable value types: " << ValueTypeName(type()) << " vs "
+      << ValueTypeName(other.type());
+  return AsString().compare(other.AsString());
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(AsInt());
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return os << "null";
+    case ValueType::kInt:
+      return os << value.AsInt();
+    case ValueType::kDouble:
+      return os << value.AsDouble();
+    case ValueType::kString:
+      return os << '"' << value.AsString() << '"';
+  }
+  return os;
+}
+
+}  // namespace caesar

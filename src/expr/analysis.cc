@@ -1,0 +1,185 @@
+#include "expr/analysis.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace caesar {
+
+namespace {
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == Expr::Kind::kBinary) {
+    const auto& binary = static_cast<const BinaryExpr&>(*expr);
+    if (binary.op() == BinaryOp::kAnd) {
+      CollectConjuncts(binary.left(), out);
+      CollectConjuncts(binary.right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+// Returns the numeric value of a constant expression, if it is one.
+std::optional<double> NumericConstant(const ExprPtr& expr) {
+  if (expr->kind() != Expr::Kind::kConstant) return std::nullopt;
+  const Value& value = static_cast<const ConstantExpr&>(*expr).value();
+  if (!value.is_numeric()) return std::nullopt;
+  return value.ToDouble();
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(expr, &conjuncts);
+  return conjuncts;
+}
+
+bool Interval::IsEmpty() const {
+  if (lo > hi) return true;
+  if (lo == hi && (lo_open || hi_open)) return true;
+  return false;
+}
+
+bool Interval::ContainedIn(const Interval& other) const {
+  if (IsEmpty()) return true;
+  bool lo_ok =
+      lo > other.lo || (lo == other.lo && (other.lo_open ? lo_open : true));
+  bool hi_ok =
+      hi < other.hi || (hi == other.hi && (other.hi_open ? hi_open : true));
+  return lo_ok && hi_ok;
+}
+
+void Interval::IntersectWith(const Interval& other) {
+  if (other.lo > lo || (other.lo == lo && other.lo_open)) {
+    lo = other.lo;
+    lo_open = other.lo_open;
+  }
+  if (other.hi < hi || (other.hi == hi && other.hi_open)) {
+    hi = other.hi;
+    hi_open = other.hi_open;
+  }
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << (lo_open ? "(" : "[") << lo << ", " << hi << (hi_open ? ")" : "]");
+  return os.str();
+}
+
+Interval AttrConstraint::ToInterval() const {
+  Interval interval;
+  switch (op) {
+    case BinaryOp::kEq:
+      interval.lo = interval.hi = value;
+      break;
+    case BinaryOp::kLt:
+      interval.hi = value;
+      interval.hi_open = true;
+      break;
+    case BinaryOp::kLe:
+      interval.hi = value;
+      break;
+    case BinaryOp::kGt:
+      interval.lo = value;
+      interval.lo_open = true;
+      break;
+    case BinaryOp::kGe:
+      interval.lo = value;
+      break;
+    default:
+      break;  // kNe and others map to the unbounded interval.
+  }
+  return interval;
+}
+
+std::optional<AttrConstraint> ExtractConstraint(const ExprPtr& conjunct) {
+  if (conjunct == nullptr || conjunct->kind() != Expr::Kind::kBinary) {
+    return std::nullopt;
+  }
+  const auto& binary = static_cast<const BinaryExpr&>(*conjunct);
+  if (!IsComparison(binary.op()) || binary.op() == BinaryOp::kNe) {
+    return std::nullopt;
+  }
+
+  const ExprPtr* attr_side = nullptr;
+  const ExprPtr* const_side = nullptr;
+  BinaryOp op = binary.op();
+  if (binary.left()->kind() == Expr::Kind::kAttrRef) {
+    attr_side = &binary.left();
+    const_side = &binary.right();
+  } else if (binary.right()->kind() == Expr::Kind::kAttrRef) {
+    attr_side = &binary.right();
+    const_side = &binary.left();
+    op = MirrorComparison(op);
+  } else {
+    return std::nullopt;
+  }
+  std::optional<double> constant = NumericConstant(*const_side);
+  if (!constant.has_value()) return std::nullopt;
+
+  const auto& attr = static_cast<const AttrRefExpr&>(**attr_side);
+  AttrConstraint constraint;
+  constraint.variable = attr.variable();
+  constraint.attribute = attr.attribute();
+  constraint.op = op;
+  constraint.value = *constant;
+  return constraint;
+}
+
+PredicateSummary PredicateSummary::FromExpr(const ExprPtr& expr) {
+  PredicateSummary summary;
+  if (expr == nullptr) return summary;  // empty == always true
+  for (const ExprPtr& conjunct : SplitConjuncts(expr)) {
+    std::optional<AttrConstraint> constraint = ExtractConstraint(conjunct);
+    if (!constraint.has_value()) {
+      summary.exact_ = false;
+      continue;
+    }
+    auto key = std::make_pair(constraint->variable, constraint->attribute);
+    auto [it, inserted] =
+        summary.intervals_.emplace(key, constraint->ToInterval());
+    if (!inserted) it->second.IntersectWith(constraint->ToInterval());
+  }
+  return summary;
+}
+
+Interval PredicateSummary::GetInterval(const std::string& variable,
+                                       const std::string& attribute) const {
+  auto it = intervals_.find(std::make_pair(variable, attribute));
+  if (it == intervals_.end()) return Interval();
+  return it->second;
+}
+
+bool Implies(const PredicateSummary& p, const PredicateSummary& q) {
+  // p => q iff the satisfying set of p is contained in that of q. We can
+  // only prove this when p's summary captures p exactly; q's summary being
+  // inexact only makes q's true satisfying set *smaller* than its summary,
+  // so q must also be exact.
+  if (!p.exact() || !q.exact()) return false;
+  for (const auto& [key, q_interval] : q.intervals()) {
+    Interval p_interval = p.GetInterval(key.first, key.second);
+    if (!p_interval.ContainedIn(q_interval)) return false;
+  }
+  return true;
+}
+
+BoundOrder CompareBoundOrder(const ExprPtr& a, const ExprPtr& b) {
+  std::vector<ExprPtr> a_conjuncts = SplitConjuncts(a);
+  std::vector<ExprPtr> b_conjuncts = SplitConjuncts(b);
+  if (a_conjuncts.size() != 1 || b_conjuncts.size() != 1) {
+    return BoundOrder::kUnknown;
+  }
+  std::optional<AttrConstraint> ca = ExtractConstraint(a_conjuncts[0]);
+  std::optional<AttrConstraint> cb = ExtractConstraint(b_conjuncts[0]);
+  if (!ca.has_value() || !cb.has_value()) return BoundOrder::kUnknown;
+  if (ca->variable != cb->variable || ca->attribute != cb->attribute) {
+    return BoundOrder::kUnknown;
+  }
+  if (ca->value < cb->value) return BoundOrder::kBefore;
+  if (ca->value > cb->value) return BoundOrder::kAfter;
+  return BoundOrder::kEqual;
+}
+
+}  // namespace caesar

@@ -1,0 +1,113 @@
+// Static predicate analysis.
+//
+// The optimizer needs two compile-time facts about context deriving
+// predicates (Section 3.3 / Definition 2 and the grouping algorithm of
+// Listing 1):
+//   1. subsumption/implication between predicates ("CAESAR employs
+//      established approaches for predicate subsumption"), and
+//   2. a partial order on context-window bounds: e.g. with a signal X that
+//      rises and later falls (Fig. 7), a window initiated by X>10 starts no
+//      later than one initiated by X>20, and one terminated by X<30 ends no
+//      later than one terminated by X<40.
+//
+// The analysis handles conjunctions of single-attribute threshold
+// comparisons (attr op numeric-constant); anything else degrades safely to
+// "unknown" and the optimizer then treats the windows as unordered.
+
+#ifndef CAESAR_EXPR_ANALYSIS_H_
+#define CAESAR_EXPR_ANALYSIS_H_
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace caesar {
+
+// Splits nested ANDs into a flat list of conjuncts.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+// A numeric interval with open/closed endpoints; +-infinity for unbounded.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  bool lo_open = false;
+  double hi = std::numeric_limits<double>::infinity();
+  bool hi_open = false;
+
+  bool IsEmpty() const;
+  // True if this interval is contained in `other`.
+  bool ContainedIn(const Interval& other) const;
+  // Intersects in place.
+  void IntersectWith(const Interval& other);
+  std::string ToString() const;
+};
+
+// A single threshold constraint `var.attr op value`.
+struct AttrConstraint {
+  std::string variable;
+  std::string attribute;
+  BinaryOp op;  // comparison
+  double value;
+
+  Interval ToInterval() const;
+};
+
+// Extracts a threshold constraint from a conjunct of the form
+// `attr op const` or `const op attr` (numeric constants only);
+// std::nullopt otherwise.
+std::optional<AttrConstraint> ExtractConstraint(const ExprPtr& conjunct);
+
+// Per-attribute interval summary of a conjunction of threshold constraints.
+class PredicateSummary {
+ public:
+  // Builds the summary. `exact` is set to false when some conjunct could not
+  // be converted (the summary is then an over-approximation of the
+  // predicate's satisfying set).
+  static PredicateSummary FromExpr(const ExprPtr& expr);
+
+  bool exact() const { return exact_; }
+  bool empty() const { return intervals_.empty(); }
+
+  // Interval for (variable, attribute), or the unbounded interval.
+  Interval GetInterval(const std::string& variable,
+                       const std::string& attribute) const;
+
+  const std::map<std::pair<std::string, std::string>, Interval>& intervals()
+      const {
+    return intervals_;
+  }
+
+ private:
+  std::map<std::pair<std::string, std::string>, Interval> intervals_;
+  bool exact_ = true;
+};
+
+// True if predicate `p` provably implies predicate `q` (every tuple
+// satisfying p satisfies q). Requires p exact; conservative otherwise.
+bool Implies(const PredicateSummary& p, const PredicateSummary& q);
+
+// Compile-time partial order between two window bounds.
+enum class BoundOrder : int8_t { kBefore, kEqual, kAfter, kUnknown };
+
+// Orders two bound predicates under the paper's monotone-signal reading of
+// Fig. 7: the bound thresholds 10 < 20 < 30 < 40 map monotonically to time,
+// so the predicate whose (single, same-attribute) threshold constant is
+// smaller fires first. Returns kUnknown when the predicates do not both
+// reduce to a single constraint on the same attribute.
+BoundOrder CompareBoundOrder(const ExprPtr& a, const ExprPtr& b);
+
+// Intent-revealing aliases for window start and end bounds.
+inline BoundOrder CompareActivationOrder(const ExprPtr& a, const ExprPtr& b) {
+  return CompareBoundOrder(a, b);
+}
+inline BoundOrder CompareTerminationOrder(const ExprPtr& a, const ExprPtr& b) {
+  return CompareBoundOrder(a, b);
+}
+
+}  // namespace caesar
+
+#endif  // CAESAR_EXPR_ANALYSIS_H_

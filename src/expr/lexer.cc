@@ -1,0 +1,177 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+
+namespace caesar {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Matches a UTF-8 encoded comparison glyph (≠ ≤ ≥) at input[i]; the paper's
+// example queries use them. Returns the matched token kind or kEnd.
+TokenKind MatchUtf8Comparison(std::string_view input, size_t i,
+                              size_t* length) {
+  // ≠ = E2 89 A0, ≤ = E2 89 A4, ≥ = E2 89 A5.
+  if (i + 2 < input.size() && static_cast<unsigned char>(input[i]) == 0xE2 &&
+      static_cast<unsigned char>(input[i + 1]) == 0x89) {
+    unsigned char third = static_cast<unsigned char>(input[i + 2]);
+    *length = 3;
+    if (third == 0xA0) return TokenKind::kNe;
+    if (third == 0xA4) return TokenKind::kLe;
+    if (third == 0xA5) return TokenKind::kGe;
+  }
+  *length = 0;
+  return TokenKind::kEnd;
+}
+
+}  // namespace
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  if (kind != TokenKind::kIdentifier) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t position, std::string text = "") {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.position = static_cast<int>(position);
+    tokens.push_back(std::move(token));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: "--" or "//" to end of line.
+    if (i + 1 < input.size() &&
+        ((c == '-' && input[i + 1] == '-') ||
+         (c == '/' && input[i + 1] == '/'))) {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      push(TokenKind::kIdentifier, start,
+           std::string(input.substr(start, i - start)));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      bool is_double = false;
+      if (i + 1 < input.size() && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string text(input.substr(start, i - start));
+      Token token;
+      token.position = static_cast<int>(start);
+      token.text = text;
+      if (is_double) {
+        token.kind = TokenKind::kDoubleLiteral;
+        token.double_value = std::stod(text);
+      } else {
+        token.kind = TokenKind::kIntLiteral;
+        token.int_value = std::stoll(text);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string text;
+      while (i < input.size() && input[i] != quote) {
+        text += input[i];
+        ++i;
+      }
+      if (i >= input.size()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      Token token;
+      token.kind = TokenKind::kStringLiteral;
+      token.text = std::move(text);
+      token.position = static_cast<int>(start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    size_t utf8_len = 0;
+    TokenKind utf8_kind = MatchUtf8Comparison(input, i, &utf8_len);
+    if (utf8_len > 0) {
+      push(utf8_kind, start);
+      i += utf8_len;
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < input.size() && input[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '.': push(TokenKind::kDot, start); ++i; break;
+      case ';': push(TokenKind::kSemicolon, start); ++i; break;
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '=':
+        if (two('=')) { push(TokenKind::kEq, start); i += 2; }
+        else { push(TokenKind::kEq, start); ++i; }
+        break;
+      case '!':
+        if (two('=')) { push(TokenKind::kNe, start); i += 2; }
+        else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (two('=')) { push(TokenKind::kLe, start); i += 2; }
+        else if (two('>')) { push(TokenKind::kNe, start); i += 2; }
+        else { push(TokenKind::kLt, start); ++i; }
+        break;
+      case '>':
+        if (two('=')) { push(TokenKind::kGe, start); i += 2; }
+        else { push(TokenKind::kGt, start); ++i; }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, input.size());
+  return tokens;
+}
+
+}  // namespace caesar

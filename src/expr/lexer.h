@@ -1,0 +1,56 @@
+// Tokenizer shared by the expression parser and the CAESAR query language
+// parser. The token set covers the full grammar of Fig. 4 in the paper.
+
+#ifndef CAESAR_EXPR_LEXER_H_
+#define CAESAR_EXPR_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace caesar {
+
+enum class TokenKind : int8_t {
+  kEnd,
+  kIdentifier,  // names, keywords (keyword detection is case-insensitive)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // single- or double-quoted
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEq,    // =
+  kNe,    // != or <> or ≠ (UTF-8)
+  kLt,    // <
+  kLe,    // <= or ≤
+  kGt,    // >
+  kGe,    // >= or ≥
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier / literal spelling (unquoted for strings)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int position = 0;     // byte offset in the input, for error messages
+
+  // Case-insensitive keyword match for identifier tokens.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+// Tokenizes `input`; returns a vector terminated by a kEnd token, or a
+// ParseError for malformed input (unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace caesar
+
+#endif  // CAESAR_EXPR_LEXER_H_

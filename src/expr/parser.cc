@@ -1,0 +1,169 @@
+#include "expr/parser.h"
+
+#include <string>
+
+namespace caesar {
+
+namespace {
+
+// Expression parser over a token vector. All methods return ParseError
+// through Result on malformed input.
+class ExprParser {
+ public:
+  ExprParser(const std::vector<Token>& tokens, size_t pos)
+      : tokens_(tokens), pos_(pos) {}
+
+  size_t pos() const { return pos_; }
+
+  Result<ExprPtr> ParseOr() {
+    CAESAR_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+ private:
+  Result<ExprPtr> ParseAnd() {
+    CAESAR_ASSIGN_OR_RETURN(ExprPtr left, ParseComparison());
+    while (Peek().IsKeyword("AND")) {
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(ExprPtr right, ParseComparison());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    CAESAR_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default:
+        return left;
+    }
+    ++pos_;
+    CAESAR_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return MakeBinary(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    CAESAR_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    CAESAR_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else {
+        return left;
+      }
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIntLiteral:
+        ++pos_;
+        return MakeConstant(token.int_value);
+      case TokenKind::kDoubleLiteral:
+        ++pos_;
+        return MakeConstant(token.double_value);
+      case TokenKind::kStringLiteral:
+        ++pos_;
+        return MakeConstant(Value(token.text));
+      case TokenKind::kMinus: {
+        // Unary minus: parse as 0 - primary.
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+        return MakeBinary(BinaryOp::kSub, MakeConstant(int64_t{0}),
+                          std::move(operand));
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        if (Peek().kind != TokenKind::kRParen) {
+          return Error("expected ')'");
+        }
+        ++pos_;
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        std::string first = token.text;
+        ++pos_;
+        if (Peek().kind == TokenKind::kDot) {
+          ++pos_;
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return Error("expected attribute name after '.'");
+          }
+          std::string attr = Peek().text;
+          ++pos_;
+          return MakeAttrRef(std::move(first), std::move(attr));
+        }
+        return MakeAttrRef(std::move(first));
+      }
+      default:
+        return Error("unexpected token in expression");
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().position));
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpr(std::string_view input) {
+  CAESAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  size_t pos = 0;
+  CAESAR_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprAt(tokens, &pos));
+  if (tokens[pos].kind != TokenKind::kEnd) {
+    return Status::ParseError("trailing input after expression at offset " +
+                              std::to_string(tokens[pos].position));
+  }
+  return expr;
+}
+
+Result<ExprPtr> ParseExprAt(const std::vector<Token>& tokens, size_t* pos) {
+  ExprParser parser(tokens, *pos);
+  Result<ExprPtr> result = parser.ParseOr();
+  if (result.ok()) *pos = parser.pos();
+  return result;
+}
+
+}  // namespace caesar

@@ -1,0 +1,27 @@
+// Recursive-descent (precedence-climbing) parser for WHERE-clause
+// expressions. Precedence, loosest first: OR < AND < comparisons <
+// additive < multiplicative. Comparison operators are non-associative.
+
+#ifndef CAESAR_EXPR_PARSER_H_
+#define CAESAR_EXPR_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "expr/lexer.h"
+
+namespace caesar {
+
+// Parses a complete expression from `input`; trailing tokens are an error.
+Result<ExprPtr> ParseExpr(std::string_view input);
+
+// Incremental interface used by the query-language parser: parses one
+// expression starting at token index *pos within `tokens`, advancing *pos
+// past the expression.
+Result<ExprPtr> ParseExprAt(const std::vector<Token>& tokens, size_t* pos);
+
+}  // namespace caesar
+
+#endif  // CAESAR_EXPR_PARSER_H_

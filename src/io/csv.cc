@@ -1,0 +1,266 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <queue>
+#include <sstream>
+
+namespace caesar {
+
+namespace {
+
+// Escapes a string cell: quotes when it contains a comma, quote or newline.
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += "\"";
+  return escaped;
+}
+
+// Splits one CSV line honoring quoted cells.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (quoted) return Status::ParseError("unterminated quote in CSV line");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+Result<ValueType> ParseValueType(const std::string& name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  return Status::ParseError("unknown attribute type: " + name);
+}
+
+}  // namespace
+
+Result<std::string> WriteEventsCsv(const EventBatch& events,
+                                   const TypeRegistry& registry) {
+  if (events.empty()) {
+    return Status::InvalidArgument("cannot serialize an empty batch");
+  }
+  TypeId type_id = events.front()->type_id();
+  const EventType& type = registry.type(type_id);
+  std::ostringstream os;
+  os << "# type: " << type.name << "\n# attrs: ";
+  for (int i = 0; i < type.schema.num_attributes(); ++i) {
+    if (i > 0) os << ", ";
+    os << type.schema.attribute(i).name << ":"
+       << ValueTypeName(type.schema.attribute(i).type);
+  }
+  os << "\ntime";
+  for (int i = 0; i < type.schema.num_attributes(); ++i) {
+    os << "," << type.schema.attribute(i).name;
+  }
+  os << "\n";
+  for (const EventPtr& event : events) {
+    if (event->type_id() != type_id) {
+      return Status::InvalidArgument(
+          "mixed event types in one CSV batch (split by type first)");
+    }
+    os << event->time();
+    for (int i = 0; i < event->num_values(); ++i) {
+      os << ",";
+      const Value& value = event->value(i);
+      switch (value.type()) {
+        case ValueType::kNull:
+          break;
+        case ValueType::kInt:
+          os << value.AsInt();
+          break;
+        case ValueType::kDouble: {
+          char buffer[64];
+          std::snprintf(buffer, sizeof(buffer), "%.17g", value.AsDouble());
+          os << buffer;
+          break;
+        }
+        case ValueType::kString:
+          os << EscapeCell(value.AsString());
+          break;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<EventBatch> ReadEventsCsv(const std::string& text,
+                                 TypeRegistry* registry) {
+  std::istringstream is(text);
+  std::string line;
+
+  // Header line 1: "# type: <name>".
+  if (!std::getline(is, line) || line.rfind("# type: ", 0) != 0) {
+    return Status::ParseError("missing '# type:' header");
+  }
+  std::string type_name = Trim(line.substr(8));
+
+  // Header line 2: "# attrs: name:type, ...".
+  if (!std::getline(is, line) || line.rfind("# attrs: ", 0) != 0) {
+    return Status::ParseError("missing '# attrs:' header");
+  }
+  std::vector<Attribute> attributes;
+  {
+    std::istringstream attrs(line.substr(9));
+    std::string item;
+    while (std::getline(attrs, item, ',')) {
+      item = Trim(item);
+      size_t colon = item.rfind(':');
+      if (colon == std::string::npos) {
+        return Status::ParseError("malformed attribute spec: " + item);
+      }
+      CAESAR_ASSIGN_OR_RETURN(ValueType type,
+                              ParseValueType(Trim(item.substr(colon + 1))));
+      attributes.push_back({Trim(item.substr(0, colon)), type});
+    }
+  }
+  TypeId type_id = registry->RegisterOrGet(type_name, attributes);
+  const Schema& schema = registry->type(type_id).schema;
+  if (schema.num_attributes() != static_cast<int>(attributes.size())) {
+    return Status::FailedPrecondition(
+        "type " + type_name + " already registered with a different schema");
+  }
+
+  // Header line 3: column names (ignored beyond a sanity check).
+  if (!std::getline(is, line) || line.rfind("time", 0) != 0) {
+    return Status::ParseError("missing column header");
+  }
+
+  EventBatch events;
+  int line_no = 3;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // A quoted cell may span physical lines: keep appending while the
+    // number of quote characters is odd (escaped quotes contribute two).
+    while (std::count(line.begin(), line.end(), '"') % 2 == 1) {
+      std::string more;
+      if (!std::getline(is, more)) break;
+      ++line_no;
+      line += "\n" + more;
+    }
+    CAESAR_ASSIGN_OR_RETURN(std::vector<std::string> cells,
+                            SplitCsvLine(line));
+    if (cells.size() != attributes.size() + 1) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected " +
+                                std::to_string(attributes.size() + 1) +
+                                " cells, got " + std::to_string(cells.size()));
+    }
+    Timestamp time = 0;
+    std::vector<Value> values;
+    values.reserve(attributes.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const std::string& cell = cells[i];
+      if (i == 0) {
+        time = std::stoll(cell);
+        continue;
+      }
+      switch (attributes[i - 1].type) {
+        case ValueType::kInt:
+          values.push_back(cell.empty()
+                               ? Value()
+                               : Value(static_cast<int64_t>(std::stoll(cell))));
+          break;
+        case ValueType::kDouble:
+          values.push_back(cell.empty() ? Value() : Value(std::stod(cell)));
+          break;
+        default:
+          values.push_back(Value(cell));
+          break;
+      }
+    }
+    events.push_back(MakeEvent(type_id, time, std::move(values)));
+  }
+  return events;
+}
+
+Status WriteEventsCsvFile(const std::string& path, const EventBatch& events,
+                          const TypeRegistry& registry) {
+  CAESAR_ASSIGN_OR_RETURN(std::string text, WriteEventsCsv(events, registry));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << text;
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed: " + path);
+}
+
+Result<EventBatch> ReadEventsCsvFile(const std::string& path,
+                                     TypeRegistry* registry) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadEventsCsv(buffer.str(), registry);
+}
+
+EventBatch MergeByTime(std::vector<EventBatch> batches) {
+  // K-way merge, stable across batches.
+  struct Cursor {
+    const EventBatch* batch;
+    size_t index;
+    size_t order;  // batch order for stability
+  };
+  auto later = [](const Cursor& a, const Cursor& b) {
+    Timestamp ta = (*a.batch)[a.index]->time();
+    Timestamp tb = (*b.batch)[b.index]->time();
+    if (ta != tb) return ta > tb;
+    return a.order > b.order;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(
+      later);
+  size_t total = 0;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    if (!batches[b].empty()) heap.push({&batches[b], 0, b});
+    total += batches[b].size();
+  }
+  EventBatch merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    Cursor cursor = heap.top();
+    heap.pop();
+    merged.push_back((*cursor.batch)[cursor.index]);
+    if (cursor.index + 1 < cursor.batch->size()) {
+      heap.push({cursor.batch, cursor.index + 1, cursor.order});
+    }
+  }
+  return merged;
+}
+
+}  // namespace caesar

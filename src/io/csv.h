@@ -1,0 +1,48 @@
+// CSV import/export of event streams.
+//
+// Streams are exchanged in a simple typed CSV dialect:
+//
+//   # type: PositionReport
+//   # attrs: vid:int, speed:int, xway:int, ...
+//   time,vid,speed,xway,...
+//   0,103,57,0,...
+//
+// One file holds events of one type; WriteEventsCsv/ReadEventsCsv round-trip
+// losslessly for int/double/string attributes. Multi-type streams are split
+// across files by the caller (one per type) and merged with MergeByTime.
+
+#ifndef CAESAR_IO_CSV_H_
+#define CAESAR_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace caesar {
+
+// Serializes `events` (all of one type) to CSV text.
+Result<std::string> WriteEventsCsv(const EventBatch& events,
+                                   const TypeRegistry& registry);
+
+// Parses CSV text produced by WriteEventsCsv. The event type is registered
+// in `registry` if absent (with the schema from the header).
+Result<EventBatch> ReadEventsCsv(const std::string& text,
+                                 TypeRegistry* registry);
+
+// Writes `events` to `path`; all events must share one type.
+Status WriteEventsCsvFile(const std::string& path, const EventBatch& events,
+                          const TypeRegistry& registry);
+
+// Reads a CSV stream file.
+Result<EventBatch> ReadEventsCsvFile(const std::string& path,
+                                     TypeRegistry* registry);
+
+// Merges time-ordered batches into one time-ordered stream (stable).
+EventBatch MergeByTime(std::vector<EventBatch> batches);
+
+}  // namespace caesar
+
+#endif  // CAESAR_IO_CSV_H_

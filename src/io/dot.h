@@ -1,0 +1,26 @@
+// Graphviz (DOT) export of CAESAR models and plans.
+//
+// ModelToDot renders the context transition network of Fig. 1: context
+// types as nodes (the default context doubled-circled), context deriving
+// queries as labeled edges (initiate / switch / terminate), and each
+// context's processing workload listed beneath its node.
+//
+// PlanToDot renders the executable plan: one cluster per query chain with
+// the operators bottom-up (Fig. 6).
+
+#ifndef CAESAR_IO_DOT_H_
+#define CAESAR_IO_DOT_H_
+
+#include <string>
+
+#include "plan/plan.h"
+#include "query/model.h"
+
+namespace caesar {
+
+std::string ModelToDot(const CaesarModel& model);
+std::string PlanToDot(const ExecutablePlan& plan);
+
+}  // namespace caesar
+
+#endif  // CAESAR_IO_DOT_H_

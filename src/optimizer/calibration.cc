@@ -1,0 +1,55 @@
+#include "optimizer/calibration.h"
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace caesar {
+
+CostModelParams CalibrateCostParams(const StatisticsReport& report) {
+  CostModelParams params;
+  params.context_activity = report.observed_context_activity;
+  return params;
+}
+
+double EstimatePlanCostCalibrated(const ExecutablePlan& plan,
+                                  const StatisticsReport& report,
+                                  const CostModelParams& params) {
+  // Index the report by (query, op index).
+  std::map<std::pair<std::string, int>, const OperatorStats*> observed;
+  for (const QueryOperatorStats& row : report.operators) {
+    observed[{row.query, row.op_index}] = &row.stats;
+  }
+
+  double total = 0.0;
+  for (const auto* queries : {&plan.deriving, &plan.processing}) {
+    for (const CompiledQuery& query : *queries) {
+      double cost = 0.0;
+      double rate = 1.0;
+      for (size_t o = 0; o < query.chain.ops.size(); ++o) {
+        const Operator& op = *query.chain.ops[o];
+        if (op.kind() == Operator::Kind::kContextWindow) {
+          cost += params.cw_probe_cost;
+          rate *= params.context_activity;
+          continue;
+        }
+        auto it = observed.find({query.name, static_cast<int>(o)});
+        double unit_cost = op.UnitCost();
+        double selectivity = op.Selectivity();
+        if (it != observed.end() && it->second->input_events > 0) {
+          unit_cost = it->second->ObservedUnitCost();
+          selectivity = it->second->ObservedSelectivity();
+        }
+        cost += rate * unit_cost;
+        rate *= selectivity;
+      }
+      total += cost;
+      for (const OpChain& guard : query.guards) {
+        total += EstimateChainCost(guard, params);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace caesar

@@ -1,0 +1,37 @@
+#include "optimizer/cost_model.h"
+
+namespace caesar {
+
+double EstimateChainCost(const OpChain& chain, const CostModelParams& params) {
+  double cost = 0.0;
+  double rate = 1.0;
+  for (size_t i = 0; i < chain.ops.size(); ++i) {
+    const Operator& op = *chain.ops[i];
+    if (op.kind() == Operator::Kind::kContextWindow) {
+      // Constant probe; everything above it only sees events while the
+      // context is active.
+      cost += params.cw_probe_cost;
+      rate *= params.context_activity;
+      continue;
+    }
+    cost += rate * op.UnitCost();
+    rate *= op.Selectivity();
+  }
+  return cost;
+}
+
+double EstimatePlanCost(const ExecutablePlan& plan,
+                        const CostModelParams& params) {
+  double cost = 0.0;
+  for (const auto* queries : {&plan.deriving, &plan.processing}) {
+    for (const CompiledQuery& query : *queries) {
+      cost += EstimateChainCost(query.chain, params);
+      for (const OpChain& guard : query.guards) {
+        cost += EstimateChainCost(guard, params);
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace caesar

@@ -1,0 +1,35 @@
+// CPU cost estimation for query chains (Section 5.1).
+//
+// Chain cost accumulates bottom-up: each operator contributes
+// (incoming rate) * (unit cost), and scales the rate by its selectivity.
+// The context window operator costs a constant probe; crucially, when it
+// sits at the *bottom* of a chain the executor skips the whole chain while
+// the context is inactive, so everything above it is weighted by the
+// expected fraction of time the context is active. This asymmetry is
+// exactly Theorem 1: the bottom position minimizes expected cost.
+
+#ifndef CAESAR_OPTIMIZER_COST_MODEL_H_
+#define CAESAR_OPTIMIZER_COST_MODEL_H_
+
+#include "plan/plan.h"
+
+namespace caesar {
+
+// Cost-model parameters.
+struct CostModelParams {
+  // Expected fraction of time the chain's context windows are active.
+  double context_activity = 0.5;
+  // Constant cost of the context-window probe.
+  double cw_probe_cost = 0.01;
+};
+
+// Expected cost of one chain per input event.
+double EstimateChainCost(const OpChain& chain, const CostModelParams& params);
+
+// Expected cost of a whole plan per input event (guards included).
+double EstimatePlanCost(const ExecutablePlan& plan,
+                        const CostModelParams& params);
+
+}  // namespace caesar
+
+#endif  // CAESAR_OPTIMIZER_COST_MODEL_H_

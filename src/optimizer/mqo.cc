@@ -1,0 +1,209 @@
+#include "optimizer/mqo.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace caesar {
+
+namespace {
+
+// Expected fraction of time a single context is active (independent
+// contexts). A group spanning several contexts must run whenever any of
+// them is active — the term that makes one all-encompassing group
+// suboptimal ("this would forfeit the purpose of being context-aware").
+constexpr double kContextActivity = 0.3;
+
+double UnionActivity(const std::set<int>& contexts) {
+  double inactive = 1.0;
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    inactive *= (1.0 - kContextActivity);
+  }
+  return 1.0 - inactive;
+}
+
+// Distinct operators of a set of queries (shared ids merged — the sharing
+// benefit), plus the contexts the group spans.
+void CollectGroup(const MqoWorkload& workload, uint64_t query_mask,
+                  std::vector<LogicalOp>* ops, std::set<int>* contexts) {
+  std::set<int> seen;
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    if (((query_mask >> q) & 1) == 0) continue;
+    contexts->insert(workload.queries[q].context);
+    for (const LogicalOp& op : workload.queries[q].ops) {
+      if (seen.insert(op.id).second) ops->push_back(op);
+    }
+  }
+}
+
+// Cost of executing `ops` in the given order: sum of cost_i scaled by the
+// product of upstream selectivities.
+double OrderingCost(const std::vector<LogicalOp>& ops) {
+  double cost = 0.0;
+  double rate = 1.0;
+  for (const LogicalOp& op : ops) {
+    cost += rate * op.cost;
+    rate *= op.selectivity;
+  }
+  return cost;
+}
+
+// Subset-DP optimal ordering cost over commuting operators. O(2^k * k).
+double OptimalOrderingCost(std::vector<LogicalOp> ops, uint64_t* candidates) {
+  int k = static_cast<int>(ops.size());
+  CAESAR_CHECK_LE(k, 26) << "operator set too large for subset DP";
+  size_t states = size_t{1} << k;
+  // rate[S] = product of selectivities of ops in S.
+  std::vector<double> rate(states, 1.0);
+  for (size_t s = 1; s < states; ++s) {
+    int lowest = __builtin_ctzll(s);
+    rate[s] = rate[s & (s - 1)] * ops[lowest].selectivity;
+  }
+  std::vector<double> best(states, 0.0);
+  for (size_t s = 1; s < states; ++s) {
+    double value = 1e300;
+    for (int o = 0; o < k; ++o) {
+      if (((s >> o) & 1) == 0) continue;
+      size_t prev = s & ~(size_t{1} << o);
+      // Op o runs last within S: it sees the output of prev.
+      double candidate = best[prev] + rate[prev] * ops[o].cost;
+      value = std::min(value, candidate);
+      ++*candidates;
+    }
+    best[s] = value;
+  }
+  return best[states - 1];
+}
+
+// Greedy rank ordering (optimal for independent commuting filters):
+// ascending cost / (1 - selectivity).
+double GreedyOrderingCost(std::vector<LogicalOp> ops, uint64_t* candidates) {
+  std::sort(ops.begin(), ops.end(), [](const LogicalOp& a, const LogicalOp& b) {
+    double ra = a.cost / std::max(1e-9, 1.0 - a.selectivity);
+    double rb = b.cost / std::max(1e-9, 1.0 - b.selectivity);
+    return ra < rb;
+  });
+  *candidates += ops.size();
+  return OrderingCost(ops);
+}
+
+}  // namespace
+
+int MqoWorkload::total_operators() const {
+  int total = 0;
+  for (const LogicalQuery& query : queries) {
+    total += static_cast<int>(query.ops.size());
+  }
+  return total;
+}
+
+MqoWorkload MakeSyntheticWorkload(int num_operators, int ops_per_query,
+                                  int num_contexts, double sharing, Rng* rng) {
+  CAESAR_CHECK_GT(ops_per_query, 0);
+  MqoWorkload workload;
+  int num_queries = (num_operators + ops_per_query - 1) / ops_per_query;
+  int next_id = 0;
+  int emitted = 0;
+  for (int q = 0; q < num_queries; ++q) {
+    LogicalQuery query;
+    query.context = q % std::max(1, num_contexts);
+    for (int o = 0; o < ops_per_query && emitted < num_operators; ++o) {
+      LogicalOp op;
+      // Share an operator with the previous query with probability
+      // `sharing` (same id => merged when grouped together).
+      if (q > 0 && o < static_cast<int>(workload.queries[q - 1].ops.size()) &&
+          rng->Bernoulli(sharing)) {
+        op = workload.queries[q - 1].ops[o];
+      } else {
+        op.id = next_id++;
+        op.cost = rng->UniformReal(0.5, 2.0);
+        op.selectivity = rng->UniformReal(0.2, 0.9);
+      }
+      query.ops.push_back(op);
+      ++emitted;
+    }
+    workload.queries.push_back(std::move(query));
+  }
+  return workload;
+}
+
+MqoSearchResult ExhaustiveSearch(const MqoWorkload& workload) {
+  MqoSearchResult result;
+  Stopwatch watch;
+  int n = static_cast<int>(workload.queries.size());
+  CAESAR_CHECK_LE(n, 16) << "exhaustive search capped at 16 queries";
+
+  // Group cost memo by query-subset mask.
+  std::map<uint64_t, double> group_cost;
+  auto cost_of_group = [&](uint64_t mask) {
+    auto it = group_cost.find(mask);
+    if (it != group_cost.end()) return it->second;
+    std::vector<LogicalOp> ops;
+    std::set<int> contexts;
+    CollectGroup(workload, mask, &ops, &contexts);
+    double cost = UnionActivity(contexts) *
+                  OptimalOrderingCost(std::move(ops), &result.candidates);
+    group_cost.emplace(mask, cost);
+    return cost;
+  };
+
+  // Enumerate set partitions via restricted-growth assignment.
+  double best_cost = 1e300;
+  int best_groups = 0;
+  std::vector<uint64_t> groups;  // masks of current groups
+  std::function<void(int)> recurse = [&](int q) {
+    if (q == n) {
+      ++result.candidates;
+      double total = 0.0;
+      for (uint64_t mask : groups) total += cost_of_group(mask);
+      if (total < best_cost) {
+        best_cost = total;
+        best_groups = static_cast<int>(groups.size());
+      }
+      return;
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      groups[g] |= uint64_t{1} << q;
+      recurse(q + 1);
+      groups[g] &= ~(uint64_t{1} << q);
+    }
+    groups.push_back(uint64_t{1} << q);
+    recurse(q + 1);
+    groups.pop_back();
+  };
+  recurse(0);
+
+  result.plan_cost = best_cost;
+  result.num_groups = best_groups;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+MqoSearchResult GreedySearch(const MqoWorkload& workload) {
+  MqoSearchResult result;
+  Stopwatch watch;
+
+  // Groups are given by the (grouped, non-overlapping) context windows.
+  std::map<int, uint64_t> by_context;
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    by_context[workload.queries[q].context] |= uint64_t{1} << q;
+  }
+  double total = 0.0;
+  for (const auto& [context, mask] : by_context) {
+    std::vector<LogicalOp> ops;
+    std::set<int> contexts;
+    CollectGroup(workload, mask, &ops, &contexts);
+    total += UnionActivity(contexts) *
+             GreedyOrderingCost(std::move(ops), &result.candidates);
+  }
+  result.plan_cost = total;
+  result.num_groups = static_cast<int>(by_context.size());
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace caesar

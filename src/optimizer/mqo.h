@@ -1,0 +1,75 @@
+// Multi-query optimization search (Section 5.3, evaluated in Fig. 11a).
+//
+// The search space of shared multi-query plans is doubly exponential: the
+// number of ways to group n queries is the Bell number B_n, and finding the
+// optimal operator ordering inside one group is itself exponential. The
+// context-independent *exhaustive* search enumerates every set partition of
+// the query workload and, per group, finds the cost-optimal ordering of the
+// group's distinct commuting operators by dynamic programming over subsets.
+// CAESAR's *context-aware greedy* search instead takes the grouping for free
+// from the (non-overlapping, grouped) context windows and orders each small
+// group's operators greedily by rank (selectivity ordering) — constant-ish
+// cost regardless of workload size.
+//
+// The workload here is the logical abstraction both searches operate on:
+// queries as bags of commuting operators with per-operator cost and
+// selectivity, plus the context labels the greedy search groups by.
+
+#ifndef CAESAR_OPTIMIZER_MQO_H_
+#define CAESAR_OPTIMIZER_MQO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace caesar {
+
+// One commuting operator of a logical query.
+struct LogicalOp {
+  int id = 0;           // shared operators across queries share ids
+  double cost = 1.0;
+  double selectivity = 0.5;
+};
+
+// A logical query: a bag of operators plus the context it belongs to.
+struct LogicalQuery {
+  std::vector<LogicalOp> ops;
+  int context = 0;
+};
+
+// A workload of logical queries.
+struct MqoWorkload {
+  std::vector<LogicalQuery> queries;
+
+  int total_operators() const;
+};
+
+// Generates a synthetic workload with `num_operators` operators spread over
+// queries of `ops_per_query` operators each, with `sharing` fraction of
+// operators shared between adjacent queries, assigned round-robin to
+// `num_contexts` contexts.
+MqoWorkload MakeSyntheticWorkload(int num_operators, int ops_per_query,
+                                  int num_contexts, double sharing, Rng* rng);
+
+// Result of one plan search.
+struct MqoSearchResult {
+  double plan_cost = 0.0;
+  double seconds = 0.0;        // CPU time spent searching
+  uint64_t candidates = 0;     // plans/orderings examined
+  int num_groups = 0;          // groups in the chosen plan
+};
+
+// Context-independent exhaustive search over all set partitions, with
+// subset-DP optimal ordering per group. Cost blows up around 24+ operators /
+// 6+ queries; callers cap the input size.
+MqoSearchResult ExhaustiveSearch(const MqoWorkload& workload);
+
+// Context-aware greedy search: groups by context (the grouped context
+// windows), greedy rank ordering within each group.
+MqoSearchResult GreedySearch(const MqoWorkload& workload);
+
+}  // namespace caesar
+
+#endif  // CAESAR_OPTIMIZER_MQO_H_

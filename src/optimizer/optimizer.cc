@@ -1,0 +1,31 @@
+#include "optimizer/optimizer.h"
+
+#include "optimizer/window_grouping.h"
+
+namespace caesar {
+
+Result<ExecutablePlan> OptimizeModel(const CaesarModel& model,
+                                     const OptimizerOptions& options) {
+  PlanOptions plan_options;
+  plan_options.push_down_context_windows = options.push_down;
+  plan_options.push_predicates_into_pattern = options.push_predicates;
+  plan_options.default_within = options.default_within;
+
+  if (options.share_overlapping) {
+    CAESAR_ASSIGN_OR_RETURN(CaesarModel grouped, ApplyWindowGrouping(model));
+    return TranslateModel(grouped, plan_options);
+  }
+  return TranslateModel(model, plan_options);
+}
+
+Result<ExecutablePlan> BaselinePlan(const CaesarModel& model,
+                                    Timestamp default_within) {
+  PlanOptions plan_options;
+  plan_options.push_down_context_windows = false;
+  plan_options.push_predicates_into_pattern = false;
+  plan_options.context_independent = true;
+  plan_options.default_within = default_within;
+  return TranslateModel(model, plan_options);
+}
+
+}  // namespace caesar

@@ -1,0 +1,42 @@
+// The CAESAR optimizer facade (Section 5): applies the context-aware
+// optimization strategies — context window push-down, predicate push-down,
+// and workload sharing across overlapping context windows — and produces an
+// executable plan.
+
+#ifndef CAESAR_OPTIMIZER_OPTIMIZER_H_
+#define CAESAR_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "plan/plan.h"
+#include "plan/translator.h"
+#include "query/model.h"
+
+namespace caesar {
+
+// Which optimizations to apply.
+struct OptimizerOptions {
+  // Context window push-down (Theorem 1).
+  bool push_down = true;
+  // Share workloads of overlapping context windows via window grouping
+  // (Listing 1).
+  bool share_overlapping = true;
+  // Push WHERE conjuncts into the sequence matcher.
+  bool push_predicates = true;
+  // Default WITHIN bound for SEQ patterns (ticks).
+  Timestamp default_within = 300;
+};
+
+// Optimizes `model` and translates it. With share_overlapping the model is
+// first rewritten by ApplyWindowGrouping; push-down and predicate push-down
+// shape the chains. The model's TypeRegistry is extended with derived types.
+Result<ExecutablePlan> OptimizeModel(const CaesarModel& model,
+                                     const OptimizerOptions& options);
+
+// Convenience: the state-of-the-art context-independent baseline plan
+// (every query always active, private context guards, no push-down).
+Result<ExecutablePlan> BaselinePlan(const CaesarModel& model,
+                                    Timestamp default_within = 300);
+
+}  // namespace caesar
+
+#endif  // CAESAR_OPTIMIZER_OPTIMIZER_H_

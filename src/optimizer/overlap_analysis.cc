@@ -1,0 +1,135 @@
+#include "optimizer/overlap_analysis.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "expr/analysis.h"
+
+namespace caesar {
+
+namespace {
+
+// Extracts the single threshold of a WHERE clause ("var.attr" + constant).
+bool SingleThreshold(const ExprPtr& where, std::string* attr, double* key) {
+  if (where == nullptr) return false;
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(where);
+  if (conjuncts.size() != 1) return false;
+  std::optional<AttrConstraint> constraint = ExtractConstraint(conjuncts[0]);
+  if (!constraint.has_value()) return false;
+  *attr = constraint->variable + "." + constraint->attribute;
+  *key = constraint->value;
+  return true;
+}
+
+}  // namespace
+
+std::vector<WindowBounds> ExtractWindowBounds(const CaesarModel& model) {
+  std::vector<WindowBounds> result;
+  for (int ci = 0; ci < model.num_contexts(); ++ci) {
+    const std::string& name = model.context(ci).name;
+    if (name == model.default_context()) continue;
+    WindowBounds bounds;
+    bounds.context = name;
+    bool ok = true;
+    for (int qi = 0; qi < model.num_queries() && ok; ++qi) {
+      const Query& query = model.query(qi);
+      bool starts = (query.action == ContextAction::kInitiate ||
+                     query.action == ContextAction::kSwitch) &&
+                    query.target_context == name;
+      bool ends =
+          (query.action == ContextAction::kTerminate &&
+           query.target_context == name) ||
+          (query.action == ContextAction::kSwitch &&
+           query.target_context != name &&
+           std::find(query.contexts.begin(), query.contexts.end(), name) !=
+               query.contexts.end());
+      if (starts && ends) ok = false;  // self-loop
+      if (starts) {
+        if (bounds.initiator_query >= 0) ok = false;
+        bounds.initiator_query = qi;
+      }
+      if (ends) {
+        if (bounds.terminator_query >= 0) ok = false;
+        bounds.terminator_query = qi;
+      }
+    }
+    if (!ok || bounds.initiator_query < 0 || bounds.terminator_query < 0) {
+      continue;
+    }
+    std::string start_attr, end_attr;
+    if (!SingleThreshold(model.query(bounds.initiator_query).where,
+                         &start_attr, &bounds.start_key) ||
+        !SingleThreshold(model.query(bounds.terminator_query).where,
+                         &end_attr, &bounds.end_key)) {
+      continue;
+    }
+    if (start_attr != end_attr || !(bounds.start_key < bounds.end_key)) {
+      continue;
+    }
+    bounds.bound_attr = start_attr;
+    result.push_back(std::move(bounds));
+  }
+  return result;
+}
+
+const char* WindowRelationName(WindowRelation relation) {
+  switch (relation) {
+    case WindowRelation::kUnknown:
+      return "unknown";
+    case WindowRelation::kDisjoint:
+      return "disjoint";
+    case WindowRelation::kOverlaps:
+      return "overlaps";
+    case WindowRelation::kContains:
+      return "contains";
+    case WindowRelation::kContainedIn:
+      return "contained-in";
+    case WindowRelation::kEqual:
+      return "equal";
+  }
+  return "?";
+}
+
+WindowRelation Relate(const WindowBounds& a, const WindowBounds& b) {
+  if (a.bound_attr != b.bound_attr) return WindowRelation::kUnknown;
+  if (a.start_key == b.start_key && a.end_key == b.end_key) {
+    return WindowRelation::kEqual;
+  }
+  bool overlap = a.start_key < b.end_key && b.start_key < a.end_key;
+  if (!overlap) return WindowRelation::kDisjoint;
+  if (b.start_key <= a.start_key && a.end_key <= b.end_key) {
+    return WindowRelation::kContainedIn;
+  }
+  if (a.start_key <= b.start_key && b.end_key <= a.end_key) {
+    return WindowRelation::kContains;
+  }
+  return WindowRelation::kOverlaps;
+}
+
+bool GuaranteedOverlap(const CaesarModel& model, const WindowBounds& inner,
+                       const WindowBounds& outer) {
+  if (inner.bound_attr != outer.bound_attr) return false;
+  // The condition region of `outer` is [start_key, end_key] on the shared
+  // attribute; `inner`'s start lies within `outer` iff the initiating
+  // predicate of `inner` implies that region. Build both summaries and use
+  // predicate implication (the Section 3.3 subsumption check).
+  const Query& initiator = model.query(inner.initiator_query);
+  PredicateSummary start_summary = PredicateSummary::FromExpr(initiator.where);
+
+  // outer region: attr >= start AND attr <= end. Reconstruct from the keys
+  // (the extraction guarantees a single constraint per bound).
+  std::vector<ExprPtr> conjuncts =
+      SplitConjuncts(model.query(outer.initiator_query).where);
+  std::optional<AttrConstraint> start_constraint =
+      ExtractConstraint(conjuncts[0]);
+  if (!start_constraint.has_value()) return false;
+  ExprPtr attr_ref = MakeAttrRef(start_constraint->variable,
+                                 start_constraint->attribute);
+  ExprPtr region = MakeConjunction(
+      MakeBinary(BinaryOp::kGe, attr_ref, MakeConstant(outer.start_key)),
+      MakeBinary(BinaryOp::kLe, attr_ref, MakeConstant(outer.end_key)));
+  PredicateSummary region_summary = PredicateSummary::FromExpr(region);
+  return Implies(start_summary, region_summary);
+}
+
+}  // namespace caesar

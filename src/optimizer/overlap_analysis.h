@@ -1,0 +1,66 @@
+// Compile-time context-window relationship analysis (Definition 2):
+// "context windows of type c1 and c2 are *guaranteed to overlap* if, based
+// on the predicates of the respective context deriving queries, it can be
+// determined that for each window of type c1 there is a window of type c2
+// with w_c1.start within w_c2; if in addition w_c1.end within w_c2 can be
+// determined, a window of type c1 is *contained* in a window of type c2."
+//
+// The analysis extracts, per context, its single initiating and terminating
+// deriving query and their threshold predicates (the setting of Fig. 7);
+// under the monotone-signal reading the thresholds order the window bounds,
+// giving each context an interval in bound space. Contexts whose bounds are
+// not analyzable are omitted (callers treat them as unrelated).
+//
+// This module is the "established approaches for predicate subsumption"
+// hook of Section 3.3; the window grouping transform (window_grouping.h)
+// builds on the same extraction.
+
+#ifndef CAESAR_OPTIMIZER_OVERLAP_ANALYSIS_H_
+#define CAESAR_OPTIMIZER_OVERLAP_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/model.h"
+
+namespace caesar {
+
+// Analyzable bounds of one context's windows.
+struct WindowBounds {
+  std::string context;
+  int initiator_query = -1;   // INITIATE/SWITCH targeting the context
+  int terminator_query = -1;  // TERMINATE, or SWITCH away from it
+  double start_key = 0.0;     // threshold of the initiating predicate
+  double end_key = 0.0;       // threshold of the terminating predicate
+  std::string bound_attr;     // "var.attr" the thresholds share
+};
+
+// Extracts analyzable bounds for every non-default context that has exactly
+// one initiator and one terminator with single-threshold predicates on a
+// shared attribute and start < end. Non-analyzable contexts are skipped.
+std::vector<WindowBounds> ExtractWindowBounds(const CaesarModel& model);
+
+// Relationship between two analyzable windows (Definition 2).
+enum class WindowRelation {
+  kUnknown,      // different bound attributes: not comparable
+  kDisjoint,     // the windows never coexist
+  kOverlaps,     // guaranteed overlap, neither contains the other
+  kContains,     // every window of `b` lies within a window of `a`
+  kContainedIn,  // every window of `a` lies within a window of `b`
+  kEqual,        // identical bounds
+};
+
+const char* WindowRelationName(WindowRelation relation);
+
+WindowRelation Relate(const WindowBounds& a, const WindowBounds& b);
+
+// Definition 2 stated directly on the deriving predicates: true if
+// `inner`'s activation provably implies that `outer` is active (the
+// initiating condition of `inner` implies the condition region of `outer`).
+// Uses PredicateSummary implication; conservative (false on doubt).
+bool GuaranteedOverlap(const CaesarModel& model, const WindowBounds& inner,
+                       const WindowBounds& outer);
+
+}  // namespace caesar
+
+#endif  // CAESAR_OPTIMIZER_OVERLAP_ANALYSIS_H_

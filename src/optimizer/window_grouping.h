@@ -1,0 +1,69 @@
+// Context window grouping (Section 5.3, Listing 1, Fig. 7).
+//
+// Overlapping user-defined context windows are split at their
+// compile-time-orderable bounds into finer, non-overlapping *grouped*
+// windows; windows covering the same interval are merged and their query
+// workloads deduplicated. The context deriving queries are adjusted so the
+// grouped windows chain via SWITCH transitions (Fig. 7 bottom).
+//
+// Two interfaces are provided:
+//   - GroupContextWindows: the literal Listing-1 algorithm over abstract
+//     window descriptions with orderable bounds (used directly by the unit
+//     tests and the MQO search-space reduction);
+//   - ApplyWindowGrouping: the model-level transform that rewrites a
+//     CaesarModel, replacing each set of groupable overlapping contexts by
+//     grouped contexts and reassigning every processing query to the
+//     grouped windows covering its original window.
+//
+// Windows whose bounds cannot be ordered at compile time (predicates not
+// reducible to single-attribute thresholds) are conservatively left
+// unchanged.
+
+#ifndef CAESAR_OPTIMIZER_WINDOW_GROUPING_H_
+#define CAESAR_OPTIMIZER_WINDOW_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "query/model.h"
+
+namespace caesar {
+
+// Input to the Listing-1 algorithm: one user-defined context window with
+// orderable bounds. `start_key`/`end_key` are the bound thresholds (see
+// expr/analysis.h: under the monotone-signal reading, bounds fire in
+// threshold order). `queries` identifies the window's workload.
+struct WindowSpec {
+  std::string context;
+  double start_key = 0.0;
+  double end_key = 0.0;
+  std::vector<std::string> queries;
+};
+
+// Output: a grouped (non-overlapping) context window.
+struct GroupedWindow {
+  std::string name;                     // synthesized context name
+  double start_key = 0.0;
+  double end_key = 0.0;
+  std::vector<std::string> queries;     // duplicates dropped
+  std::vector<std::string> originals;   // original contexts covered
+};
+
+// Listing 1. Windows that overlap no other window pass through unchanged;
+// identical windows are merged; overlapping windows are split at every
+// bound and grouped. Requires start_key < end_key for every window.
+Result<std::vector<GroupedWindow>> GroupContextWindows(
+    std::vector<WindowSpec> windows);
+
+// Model-level transform. Contexts are groupable when each has exactly one
+// initiating and one terminating deriving query whose predicates reduce to
+// thresholds on one shared attribute. Non-groupable or non-overlapping
+// contexts are kept as-is. Returns the rewritten model (sharing-enabled);
+// the default context is preserved.
+Result<CaesarModel> ApplyWindowGrouping(const CaesarModel& model);
+
+}  // namespace caesar
+
+#endif  // CAESAR_OPTIMIZER_WINDOW_GROUPING_H_

@@ -1,0 +1,58 @@
+// Model-to-plan translation (Section 4.2, Table 1, Fig. 5/6).
+//
+// Phase 1 (implied CONTEXT clauses become mandatory) lives in
+// CaesarModel::Normalize. This module implements Phase 2: every query
+// becomes a chain of algebra operators, and chains are ordered by their
+// produce/consume type dependencies into a combined plan.
+//
+// The optimizer's plan-shape decisions (Section 5) are realized as
+// PlanOptions: the non-optimized shape follows Fig. 6(a) — pattern, filter,
+// context window, projection — while push_down_context_windows produces
+// Fig. 6(b) with the context window at the bottom of each chain, which lets
+// the executor suspend the entire chain when the context is inactive.
+//
+// The context-independent baseline (`context_independent`) strips shared
+// context derivation and instead equips every query with private guard
+// chains that re-derive its contexts into a query-private context vector —
+// the hard-coded-context strategy of state-of-the-art engines the paper
+// compares against.
+
+#ifndef CAESAR_PLAN_TRANSLATOR_H_
+#define CAESAR_PLAN_TRANSLATOR_H_
+
+#include "common/status.h"
+#include "plan/plan.h"
+#include "query/model.h"
+
+namespace caesar {
+
+// Plan-shape options chosen by the optimizer (or forced by benchmarks).
+struct PlanOptions {
+  // Context window push-down (Section 5.2). Off = Fig. 6(a), on = Fig. 6(b).
+  bool push_down_context_windows = true;
+
+  // Push WHERE conjuncts into the sequence matcher as position predicates
+  // (classical predicate push-down; conjuncts referencing negated variables
+  // are always pushed because they define the negation condition).
+  bool push_predicates_into_pattern = true;
+
+  // Forces the context window to a specific position in the chain
+  // (0 = bottom). -1 = follow push_down_context_windows. Used by the
+  // Theorem-1 cost experiments.
+  int force_cw_position = -1;
+
+  // Context-independent baseline (see header comment).
+  bool context_independent = false;
+
+  // Default WITHIN bound (ticks) for SEQ patterns that do not specify one.
+  Timestamp default_within = 300;
+};
+
+// Translates a normalized model into an executable plan. Registers derived
+// and composite event types in the model's TypeRegistry.
+Result<ExecutablePlan> TranslateModel(const CaesarModel& model,
+                                      const PlanOptions& options);
+
+}  // namespace caesar
+
+#endif  // CAESAR_PLAN_TRANSLATOR_H_

@@ -1,0 +1,256 @@
+#include "query/model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace caesar {
+
+const char* ContextActionName(ContextAction action) {
+  switch (action) {
+    case ContextAction::kNone:
+      return "none";
+    case ContextAction::kInitiate:
+      return "INITIATE";
+    case ContextAction::kSwitch:
+      return "SWITCH";
+    case ContextAction::kTerminate:
+      return "TERMINATE";
+  }
+  return "?";
+}
+
+const char* AggregateFuncName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kCount:
+      return "count";
+    case AggregateFunc::kSum:
+      return "sum";
+    case AggregateFunc::kAvg:
+      return "avg";
+    case AggregateFunc::kMin:
+      return "min";
+    case AggregateFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string PatternSpec::ToString() const {
+  std::ostringstream os;
+  auto item_str = [](const PatternItem& item) {
+    std::string s;
+    if (item.negated) s += "NOT ";
+    s += item.event_type;
+    if (!item.variable.empty()) s += " " + item.variable;
+    return s;
+  };
+  switch (kind) {
+    case Kind::kEvent:
+      os << item_str(items[0]);
+      break;
+    case Kind::kSeq:
+      os << "SEQ(";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << item_str(items[i]);
+      }
+      os << ")";
+      break;
+    case Kind::kAggregate:
+      os << "AGG(" << item_str(items[0]) << ", window=" << window_length
+         << ", by=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) os << ",";
+        os << group_by[i];
+      }
+      os << "], [";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) os << ",";
+        os << AggregateFuncName(aggregates[i].func) << "("
+           << aggregates[i].attribute << ") AS " << aggregates[i].name;
+      }
+      os << "]";
+      if (having != nullptr) os << " HAVING " << having->ToString();
+      os << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string DeriveSpec::ToString() const {
+  std::ostringstream os;
+  os << event_type << "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << args[i]->ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  if (!name.empty()) os << "QUERY " << name << "\n";
+  if (action != ContextAction::kNone) {
+    os << ContextActionName(action) << " CONTEXT " << target_context << "\n";
+  }
+  if (derive.has_value()) os << "DERIVE " << derive->ToString() << "\n";
+  if (pattern.has_value()) os << "PATTERN " << pattern->ToString() << "\n";
+  if (where != nullptr) os << "WHERE " << where->ToString() << "\n";
+  if (!contexts.empty()) {
+    os << "CONTEXT ";
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << contexts[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status CaesarModel::AddContext(const std::string& name) {
+  if (ContextIndex(name) >= 0) {
+    return Status::AlreadyExists("context already declared: " + name);
+  }
+  ContextType context;
+  context.name = name;
+  contexts_.push_back(std::move(context));
+  if (default_context_.empty()) default_context_ = name;
+  return Status::Ok();
+}
+
+Status CaesarModel::SetDefaultContext(const std::string& name) {
+  if (ContextIndex(name) < 0) {
+    return Status::NotFound("unknown default context: " + name);
+  }
+  default_context_ = name;
+  return Status::Ok();
+}
+
+Result<int> CaesarModel::AddQuery(Query query) {
+  queries_.push_back(std::move(query));
+  return num_queries() - 1;
+}
+
+int CaesarModel::ContextIndex(const std::string& name) const {
+  for (int i = 0; i < num_contexts(); ++i) {
+    if (contexts_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Status CaesarModel::Normalize() {
+  if (contexts_.empty()) {
+    return Status::FailedPrecondition("model declares no contexts");
+  }
+  // Phase 1: implied CONTEXT clauses become mandatory.
+  for (Query& query : queries_) {
+    if (query.contexts.empty()) {
+      query.contexts.push_back(default_context_);
+    }
+  }
+  CAESAR_RETURN_IF_ERROR(Validate());
+  // Populate per-context workloads.
+  for (ContextType& context : contexts_) {
+    context.deriving_queries.clear();
+    context.processing_queries.clear();
+  }
+  for (int qi = 0; qi < num_queries(); ++qi) {
+    const Query& query = queries_[qi];
+    for (const std::string& context_name : query.contexts) {
+      ContextType& context = contexts_[ContextIndex(context_name)];
+      if (query.IsContextDeriving()) {
+        context.deriving_queries.push_back(qi);
+      } else {
+        context.processing_queries.push_back(qi);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CaesarModel::Validate() const {
+  if (ContextIndex(default_context_) < 0) {
+    return Status::FailedPrecondition("default context not declared: " +
+                                      default_context_);
+  }
+  for (int qi = 0; qi < num_queries(); ++qi) {
+    const Query& query = queries_[qi];
+    std::string label =
+        query.name.empty() ? "query #" + std::to_string(qi) : query.name;
+    if (!query.pattern.has_value()) {
+      return Status::FailedPrecondition(label + ": missing PATTERN clause");
+    }
+    if (query.pattern->items.empty()) {
+      return Status::FailedPrecondition(label + ": empty pattern");
+    }
+    if (query.action == ContextAction::kNone && !query.derive.has_value()) {
+      return Status::FailedPrecondition(
+          label + ": needs a DERIVE clause or a context action");
+    }
+    if (query.action != ContextAction::kNone) {
+      if (ContextIndex(query.target_context) < 0) {
+        return Status::FailedPrecondition(label + ": unknown target context " +
+                                          query.target_context);
+      }
+    }
+    for (const std::string& context_name : query.contexts) {
+      if (ContextIndex(context_name) < 0) {
+        return Status::FailedPrecondition(label + ": unknown context " +
+                                          context_name);
+      }
+    }
+    if (!query.context_anchors.empty()) {
+      if (query.context_anchors.size() != query.contexts.size()) {
+        return Status::FailedPrecondition(
+            label + ": context_anchors must parallel the CONTEXT clause");
+      }
+      for (const std::string& anchor : query.context_anchors) {
+        if (ContextIndex(anchor) < 0) {
+          return Status::FailedPrecondition(label + ": unknown anchor " +
+                                            anchor);
+        }
+      }
+    }
+    if (query.pattern->kind == PatternSpec::Kind::kSeq) {
+      bool has_positive = false;
+      for (const PatternItem& item : query.pattern->items) {
+        if (!item.negated) has_positive = true;
+      }
+      if (!has_positive) {
+        return Status::FailedPrecondition(label +
+                                          ": pattern has no positive event");
+      }
+    }
+    if (query.pattern->kind == PatternSpec::Kind::kAggregate) {
+      if (query.pattern->items.size() != 1 || query.pattern->items[0].negated) {
+        return Status::FailedPrecondition(
+            label + ": aggregate pattern needs one positive input");
+      }
+      if (query.pattern->window_length <= 0) {
+        return Status::FailedPrecondition(
+            label + ": aggregate pattern needs a positive window length");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string CaesarModel::ToString() const {
+  std::ostringstream os;
+  os << "CONTEXTS ";
+  for (int i = 0; i < num_contexts(); ++i) {
+    if (i > 0) os << ", ";
+    os << contexts_[i].name;
+    if (contexts_[i].name == default_context_) os << " (default)";
+  }
+  os << "\n\n";
+  for (const Query& query : queries_) {
+    os << query.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace caesar

@@ -1,0 +1,391 @@
+#include "query/parser.h"
+
+#include <string>
+#include <vector>
+
+#include "expr/lexer.h"
+#include "expr/parser.h"
+
+namespace caesar {
+
+namespace {
+
+// Keywords that begin a clause; an identifier list (e.g. CONTEXT names)
+// stops before these.
+bool IsClauseKeyword(const Token& token) {
+  static constexpr const char* kKeywords[] = {
+      "QUERY",   "INITIATE", "SWITCH",  "TERMINATE", "DERIVE",
+      "PATTERN", "WHERE",    "CONTEXT", "CONTEXTS",  "PARTITION",
+      "DEFAULT"};
+  for (const char* keyword : kKeywords) {
+    if (token.IsKeyword(keyword)) return true;
+  }
+  return false;
+}
+
+class ModelParser {
+ public:
+  ModelParser(const std::vector<Token>& tokens, size_t pos)
+      : tokens_(tokens), pos_(pos) {}
+
+
+  // Parses one query: a sequence of clauses up to ';' or end.
+  Result<Query> ParseQueryBody() {
+    Query query;
+    if (Peek().IsKeyword("QUERY")) {
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(query.name, ExpectIdentifier("query name"));
+    }
+    bool any_clause = false;
+    while (true) {
+      const Token& token = Peek();
+      if (token.kind == TokenKind::kEnd ||
+          token.kind == TokenKind::kSemicolon) {
+        break;
+      }
+      if (token.IsKeyword("INITIATE") || token.IsKeyword("SWITCH") ||
+          token.IsKeyword("TERMINATE")) {
+        if (query.action != ContextAction::kNone) {
+          return Error("duplicate context action clause");
+        }
+        query.action = token.IsKeyword("INITIATE") ? ContextAction::kInitiate
+                       : token.IsKeyword("SWITCH") ? ContextAction::kSwitch
+                                                   : ContextAction::kTerminate;
+        ++pos_;
+        if (!Peek().IsKeyword("CONTEXT")) {
+          return Error("expected CONTEXT after context action");
+        }
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(query.target_context,
+                                ExpectIdentifier("context name"));
+        any_clause = true;
+      } else if (token.IsKeyword("DERIVE")) {
+        if (query.derive.has_value()) return Error("duplicate DERIVE clause");
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(DeriveSpec derive, ParseDerive());
+        query.derive = std::move(derive);
+        any_clause = true;
+      } else if (token.IsKeyword("PATTERN")) {
+        if (query.pattern.has_value()) {
+          return Error("duplicate PATTERN clause");
+        }
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(PatternSpec pattern, ParsePattern());
+        query.pattern = std::move(pattern);
+        any_clause = true;
+      } else if (token.IsKeyword("WHERE")) {
+        if (query.where != nullptr) return Error("duplicate WHERE clause");
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(query.where, ParseExprAt(tokens_, &pos_));
+        any_clause = true;
+      } else if (token.IsKeyword("CONTEXT")) {
+        if (!query.contexts.empty()) {
+          return Error("duplicate CONTEXT clause");
+        }
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(query.contexts,
+                                ParseIdentifierList("context name"));
+        any_clause = true;
+      } else {
+        return Error("unexpected token in query");
+      }
+    }
+    if (!any_clause) return Error("empty query");
+    return query;
+  }
+
+  // DERIVE EventType(expr (AS name)?, ...)
+  Result<DeriveSpec> ParseDerive() {
+    DeriveSpec derive;
+    CAESAR_ASSIGN_OR_RETURN(derive.event_type,
+                            ExpectIdentifier("derived event type"));
+    if (Peek().kind != TokenKind::kLParen) {
+      return Error("expected '(' after derived event type");
+    }
+    ++pos_;
+    if (Peek().kind == TokenKind::kRParen) {
+      ++pos_;
+      return derive;
+    }
+    while (true) {
+      CAESAR_ASSIGN_OR_RETURN(ExprPtr arg, ParseExprAt(tokens_, &pos_));
+      std::string attr_name;
+      if (Peek().IsKeyword("AS")) {
+        ++pos_;
+        CAESAR_ASSIGN_OR_RETURN(attr_name, ExpectIdentifier("attribute name"));
+      }
+      derive.args.push_back(std::move(arg));
+      derive.attr_names.push_back(std::move(attr_name));
+      if (Peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      if (Peek().kind == TokenKind::kRParen) {
+        ++pos_;
+        break;
+      }
+      return Error("expected ',' or ')' in DERIVE argument list");
+    }
+    return derive;
+  }
+
+  // Patt := NOT? EventType Var? | SEQ( (Patt ,?)+ ) | Aggregate,
+  // optionally followed by WITHIN <ticks>. Nested SEQs flatten.
+  //
+  // Aggregate := AGGREGATE EventType Var? WINDOW <ticks>
+  //              (GROUP BY attr (, attr)*)?
+  //              COMPUTE func(attr?) AS name (, func(attr?) AS name)*
+  //              (HAVING expr)?
+  Result<PatternSpec> ParsePattern() {
+    PatternSpec pattern;
+    if (Peek().IsKeyword("AGGREGATE")) {
+      ++pos_;
+      return ParseAggregate();
+    }
+    CAESAR_RETURN_IF_ERROR(ParsePatternInto(&pattern));
+    if (Peek().IsKeyword("WITHIN")) {
+      ++pos_;
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("expected integer after WITHIN");
+      }
+      pattern.within = Peek().int_value;
+      ++pos_;
+    }
+    return pattern;
+  }
+
+  Result<PatternSpec> ParseAggregate() {
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kAggregate;
+    PatternItem item;
+    CAESAR_ASSIGN_OR_RETURN(item.event_type, ExpectIdentifier("event type"));
+    if (Peek().kind == TokenKind::kIdentifier && !IsClauseKeyword(Peek()) &&
+        !Peek().IsKeyword("WINDOW")) {
+      item.variable = Peek().text;
+      ++pos_;
+    }
+    pattern.items.push_back(std::move(item));
+    if (!Peek().IsKeyword("WINDOW")) {
+      return Error("expected WINDOW in aggregate pattern");
+    }
+    ++pos_;
+    if (Peek().kind != TokenKind::kIntLiteral) {
+      return Error("expected integer window length");
+    }
+    pattern.window_length = Peek().int_value;
+    ++pos_;
+    if (Peek().IsKeyword("GROUP")) {
+      ++pos_;
+      if (!Peek().IsKeyword("BY")) return Error("expected BY after GROUP");
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(pattern.group_by,
+                              ParseIdentifierList("group-by attribute"));
+    }
+    if (!Peek().IsKeyword("COMPUTE")) {
+      return Error("expected COMPUTE in aggregate pattern");
+    }
+    ++pos_;
+    while (true) {
+      AggregateSpec spec;
+      CAESAR_ASSIGN_OR_RETURN(std::string func,
+                              ExpectIdentifier("aggregate function"));
+      if (func == "count") {
+        spec.func = AggregateFunc::kCount;
+      } else if (func == "sum") {
+        spec.func = AggregateFunc::kSum;
+      } else if (func == "avg") {
+        spec.func = AggregateFunc::kAvg;
+      } else if (func == "min") {
+        spec.func = AggregateFunc::kMin;
+      } else if (func == "max") {
+        spec.func = AggregateFunc::kMax;
+      } else {
+        return Error("unknown aggregate function " + func);
+      }
+      if (Peek().kind != TokenKind::kLParen) {
+        return Error("expected '(' after aggregate function");
+      }
+      ++pos_;
+      if (Peek().kind == TokenKind::kIdentifier) {
+        spec.attribute = Peek().text;
+        ++pos_;
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')' in aggregate");
+      }
+      ++pos_;
+      if (!Peek().IsKeyword("AS")) {
+        return Error("expected AS <name> after aggregate");
+      }
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(spec.name, ExpectIdentifier("aggregate name"));
+      pattern.aggregates.push_back(std::move(spec));
+      if (Peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(pattern.having, ParseExprAt(tokens_, &pos_));
+    }
+    return pattern;
+  }
+
+  // CONTEXTS a, b, c DEFAULT a
+  Status ParseContextsDecl(CaesarModel* model) {
+    CAESAR_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            ParseIdentifierList("context name"));
+    for (const std::string& name : names) {
+      CAESAR_RETURN_IF_ERROR(model->AddContext(name));
+    }
+    if (Peek().IsKeyword("DEFAULT")) {
+      ++pos_;
+      CAESAR_ASSIGN_OR_RETURN(std::string default_name,
+                              ExpectIdentifier("default context"));
+      CAESAR_RETURN_IF_ERROR(model->SetDefaultContext(default_name));
+    }
+    return Status::Ok();
+  }
+
+  // PARTITION BY a, b, c
+  Status ParsePartitionDecl(CaesarModel* model) {
+    if (!Peek().IsKeyword("BY")) {
+      return Status::ParseError("expected BY after PARTITION");
+    }
+    ++pos_;
+    CAESAR_ASSIGN_OR_RETURN(std::vector<std::string> attrs,
+                            ParseIdentifierList("attribute name"));
+    model->SetPartitionBy(std::move(attrs));
+    return Status::Ok();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  void SkipSemicolons() {
+    while (Peek().kind == TokenKind::kSemicolon) ++pos_;
+  }
+
+  // Parses the whole model body (declarations and queries) into `model`.
+  Status ParseModelBody(CaesarModel* model) {
+    SkipSemicolons();
+    while (Peek().kind != TokenKind::kEnd) {
+      if (Peek().IsKeyword("CONTEXTS")) {
+        ++pos_;
+        CAESAR_RETURN_IF_ERROR(ParseContextsDecl(model));
+      } else if (Peek().IsKeyword("PARTITION")) {
+        ++pos_;
+        CAESAR_RETURN_IF_ERROR(ParsePartitionDecl(model));
+      } else {
+        CAESAR_ASSIGN_OR_RETURN(Query query, ParseQueryBody());
+        CAESAR_RETURN_IF_ERROR(model->AddQuery(std::move(query)).status());
+      }
+      if (Peek().kind != TokenKind::kSemicolon &&
+          Peek().kind != TokenKind::kEnd) {
+        return Error("expected ';'");
+      }
+      SkipSemicolons();
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status ParsePatternInto(PatternSpec* pattern) {
+    if (Peek().IsKeyword("SEQ")) {
+      ++pos_;
+      pattern->kind = PatternSpec::Kind::kSeq;
+      if (Peek().kind != TokenKind::kLParen) {
+        return Status::ParseError("expected '(' after SEQ");
+      }
+      ++pos_;
+      while (true) {
+        CAESAR_RETURN_IF_ERROR(ParsePatternInto(pattern));
+        if (Peek().kind == TokenKind::kComma) {
+          ++pos_;
+          continue;
+        }
+        if (Peek().kind == TokenKind::kRParen) {
+          ++pos_;
+          break;
+        }
+        return Status::ParseError("expected ',' or ')' in SEQ");
+      }
+      return Status::Ok();
+    }
+    PatternItem item;
+    if (Peek().IsKeyword("NOT")) {
+      item.negated = true;
+      ++pos_;
+    }
+    if (Peek().IsKeyword("SEQ")) {
+      return Status::ParseError("NOT SEQ(...) is not supported");
+    }
+    CAESAR_ASSIGN_OR_RETURN(item.event_type, ExpectIdentifier("event type"));
+    // Optional variable: an identifier that is not a clause keyword.
+    if (Peek().kind == TokenKind::kIdentifier && !IsClauseKeyword(Peek()) &&
+        !Peek().IsKeyword("AS") && !Peek().IsKeyword("WITHIN")) {
+      item.variable = Peek().text;
+      ++pos_;
+    }
+    pattern->items.push_back(std::move(item));
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected " + what + " at offset " +
+                                std::to_string(Peek().position));
+    }
+    std::string text = Peek().text;
+    ++pos_;
+    return text;
+  }
+
+  Result<std::vector<std::string>> ParseIdentifierList(
+      const std::string& what) {
+    std::vector<std::string> names;
+    while (true) {
+      CAESAR_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier(what));
+      names.push_back(std::move(name));
+      if (Peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return names;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().position));
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Result<CaesarModel> ParseModel(std::string_view text, TypeRegistry* registry) {
+  CAESAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  CaesarModel model(registry);
+  ModelParser parser(tokens, 0);
+  CAESAR_RETURN_IF_ERROR(parser.ParseModelBody(&model));
+  CAESAR_RETURN_IF_ERROR(model.Normalize());
+  return model;
+}
+
+Result<Query> ParseQuery(std::string_view text) {
+  CAESAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  ModelParser parser(tokens, 0);
+  CAESAR_ASSIGN_OR_RETURN(Query query, parser.ParseQueryBody());
+  if (parser.Peek().kind != TokenKind::kEnd &&
+      parser.Peek().kind != TokenKind::kSemicolon) {
+    return Status::ParseError("trailing input after query");
+  }
+  return query;
+}
+
+}  // namespace caesar

@@ -1,0 +1,42 @@
+// Parser for the textual CAESAR query language (Fig. 4 of the paper), with
+// small concrete-syntax additions needed to write whole models in one file:
+//
+//   CONTEXTS clear, congestion, accident DEFAULT clear;
+//   PARTITION BY xway, dir, seg;
+//
+//   QUERY toll_notification
+//   DERIVE TollNotification(p.vid AS vid, p.sec AS sec, 5 AS toll)
+//   PATTERN NewTravelingCar p
+//   CONTEXT congestion;
+//
+//   QUERY accident_detected
+//   INITIATE CONTEXT accident
+//   PATTERN SEQ(StoppedCar s1, StoppedCar s2)
+//   WHERE s1.pos = s2.pos AND s1.vid != s2.vid
+//   CONTEXT clear, congestion;
+//
+// Queries and declarations are ';'-terminated. Clause keywords are
+// case-insensitive. The CONTEXT clause may be omitted (the model implies the
+// default context; see CaesarModel::Normalize).
+
+#ifndef CAESAR_QUERY_PARSER_H_
+#define CAESAR_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "event/schema.h"
+#include "query/model.h"
+
+namespace caesar {
+
+// Parses a complete model (context declarations plus queries) and
+// normalizes it. `registry` must outlive the returned model.
+Result<CaesarModel> ParseModel(std::string_view text, TypeRegistry* registry);
+
+// Parses a single query (without the trailing ';').
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace caesar
+
+#endif  // CAESAR_QUERY_PARSER_H_

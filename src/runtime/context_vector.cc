@@ -1,0 +1,57 @@
+#include "runtime/context_vector.h"
+
+#include <sstream>
+
+namespace caesar {
+
+ContextBitVector::ContextBitVector(int num_contexts, int default_context)
+    : num_contexts_(num_contexts),
+      default_context_(default_context),
+      since_(num_contexts, 0) {
+  CAESAR_CHECK_GT(num_contexts, 0);
+  CAESAR_CHECK_LE(num_contexts, kMaxContexts);
+  CAESAR_CHECK_GE(default_context, 0);
+  CAESAR_CHECK_LT(default_context, num_contexts);
+  bits_ = uint64_t{1} << default_context;
+}
+
+bool ContextBitVector::Initiate(int c, Timestamp now) {
+  time_ = now;
+  if (IsActive(c)) return false;  // Only one window of a type at a time.
+  bits_ |= uint64_t{1} << c;
+  since_[c] = now;
+  if (c != default_context_ && IsActive(default_context_)) {
+    bits_ &= ~(uint64_t{1} << default_context_);
+  }
+  ++version_;
+  return true;
+}
+
+bool ContextBitVector::Terminate(int c, Timestamp now) {
+  time_ = now;
+  if (!IsActive(c)) return false;
+  bits_ &= ~(uint64_t{1} << c);
+  if (bits_ == 0) {
+    bits_ = uint64_t{1} << default_context_;
+    since_[default_context_] = now;
+  }
+  ++version_;
+  return true;
+}
+
+std::string ContextBitVector::ToString() const {
+  std::ostringstream os;
+  os << "W@" << time_ << "{";
+  bool first = true;
+  for (int c = 0; c < num_contexts_; ++c) {
+    if (IsActive(c)) {
+      if (!first) os << ",";
+      os << c << "(since " << since_[c] << ")";
+      first = false;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace caesar

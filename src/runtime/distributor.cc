@@ -1,0 +1,116 @@
+#include "runtime/distributor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace caesar {
+
+EventDistributor::EventDistributor(int num_sources) : queues_(num_sources) {
+  CAESAR_CHECK_GT(num_sources, 0);
+}
+
+Status EventDistributor::Push(int source, EventPtr event) {
+  if (source < 0 || source >= num_sources()) {
+    return Status::InvalidArgument("unknown source " + std::to_string(source));
+  }
+  SourceQueue& queue = queues_[source];
+  if (queue.closed) {
+    return Status::FailedPrecondition("source already closed");
+  }
+  if (event->time() < queue.progress) {
+    return Status::FailedPrecondition(
+        "time regression on source " + std::to_string(source) + ": " +
+        std::to_string(event->time()) + " after " +
+        std::to_string(queue.progress));
+  }
+  queue.progress = event->time();
+  queue.events.push_back(std::move(event));
+  return Status::Ok();
+}
+
+void EventDistributor::Close(int source) {
+  CAESAR_CHECK_GE(source, 0);
+  CAESAR_CHECK_LT(source, num_sources());
+  queues_[source].closed = true;
+}
+
+Timestamp EventDistributor::Watermark() const {
+  Timestamp watermark = std::numeric_limits<Timestamp>::max();
+  bool any_open = false;
+  for (const SourceQueue& queue : queues_) {
+    if (queue.closed) continue;
+    any_open = true;
+    watermark = std::min(watermark, queue.progress);
+  }
+  if (!any_open) return std::numeric_limits<Timestamp>::max();
+  return watermark;
+}
+
+size_t EventDistributor::ReleaseUpTo(Timestamp bound, EventBatch* out) {
+  // K-way merge of queue fronts up to `bound` (stable by source index).
+  size_t released = 0;
+  while (true) {
+    int best = -1;
+    Timestamp best_time = 0;
+    for (int s = 0; s < num_sources(); ++s) {
+      const SourceQueue& queue = queues_[s];
+      if (queue.events.empty()) continue;
+      Timestamp t = queue.events.front()->time();
+      if (t > bound) continue;
+      if (best < 0 || t < best_time) {
+        best = s;
+        best_time = t;
+      }
+    }
+    if (best < 0) break;
+    out->push_back(std::move(queues_[best].events.front()));
+    queues_[best].events.pop_front();
+    ++released;
+  }
+  return released;
+}
+
+size_t EventDistributor::Release(EventBatch* out) {
+  Timestamp watermark = Watermark();
+  if (watermark == kNoProgress) return 0;
+  return ReleaseUpTo(watermark, out);
+}
+
+size_t EventDistributor::ReleaseAll(EventBatch* out) {
+  return ReleaseUpTo(std::numeric_limits<Timestamp>::max(), out);
+}
+
+size_t EventDistributor::buffered() const {
+  size_t total = 0;
+  for (const SourceQueue& queue : queues_) total += queue.events.size();
+  return total;
+}
+
+StreamingEngine::StreamingEngine(std::unique_ptr<Engine> engine,
+                                 int num_sources)
+    : engine_(std::move(engine)), distributor_(num_sources) {
+  CAESAR_CHECK(engine_ != nullptr);
+}
+
+Status StreamingEngine::Push(int source, EventPtr event) {
+  return distributor_.Push(source, std::move(event));
+}
+
+RunStats StreamingEngine::Advance(EventBatch* outputs) {
+  EventBatch released;
+  distributor_.Release(&released);
+  return engine_->Run(released, outputs);
+}
+
+RunStats StreamingEngine::Flush(EventBatch* outputs) {
+  for (int s = 0; s < distributor_.num_sources(); ++s) {
+    distributor_.Close(s);
+  }
+  EventBatch released;
+  distributor_.ReleaseAll(&released);
+  return engine_->Run(released, outputs);
+}
+
+}  // namespace caesar

@@ -1,0 +1,98 @@
+// The event distributor and streaming front-end (Fig. 8/9 of the paper).
+//
+// In a deployment, events arrive on multiple input connections (event
+// producers) that are each internally time-ordered but mutually interleaved.
+// The distributor buffers incoming events in per-source queues and tracks
+// each source's *progress* (the highest time stamp received). The paper's
+// time-driven scheduler "waits till the event distributor progress is larger
+// than t" before executing the transactions of time stamp t — implemented
+// here as a watermark: events up to min(progress over all sources) are
+// released to the engine in global time order.
+//
+// StreamingEngine glues a distributor to an Engine: push events per source,
+// call Advance() (or Flush() at end of stream) to run every released
+// transaction.
+
+#ifndef CAESAR_RUNTIME_DISTRIBUTOR_H_
+#define CAESAR_RUNTIME_DISTRIBUTOR_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+#include "runtime/engine.h"
+
+namespace caesar {
+
+// Buffers per-source event queues and releases a globally time-ordered
+// stream up to the progress watermark.
+class EventDistributor {
+ public:
+  explicit EventDistributor(int num_sources);
+
+  int num_sources() const { return static_cast<int>(queues_.size()); }
+
+  // Enqueues an event from `source`. Events of one source must arrive in
+  // non-decreasing time order; a regression is rejected.
+  Status Push(int source, EventPtr event);
+
+  // Marks `source` as finished: it no longer constrains the watermark.
+  void Close(int source);
+
+  // The progress watermark: every event with time() <= watermark has been
+  // seen by all (open) sources. kNoProgress until every source has pushed
+  // or closed.
+  static constexpr Timestamp kNoProgress = -1;
+  Timestamp Watermark() const;
+
+  // Moves all buffered events with time() <= Watermark() into `out`, in
+  // global time order (stable across sources). Returns the count.
+  size_t Release(EventBatch* out);
+
+  // Moves *everything* still buffered into `out` (end of stream).
+  size_t ReleaseAll(EventBatch* out);
+
+  // Buffered events not yet released.
+  size_t buffered() const;
+
+ private:
+  size_t ReleaseUpTo(Timestamp bound, EventBatch* out);
+
+  struct SourceQueue {
+    std::deque<EventPtr> events;
+    Timestamp progress = kNoProgress;
+    bool closed = false;
+  };
+  std::vector<SourceQueue> queues_;
+};
+
+// A push-based engine front-end over the distributor.
+class StreamingEngine {
+ public:
+  StreamingEngine(std::unique_ptr<Engine> engine, int num_sources);
+
+  // Pushes one event from `source`; transactions become runnable once every
+  // source has progressed past their time stamp.
+  Status Push(int source, EventPtr event);
+
+  // Runs all currently released transactions; returns their stats.
+  RunStats Advance(EventBatch* outputs = nullptr);
+
+  // Closes all sources, drains the remaining buffer and runs it.
+  RunStats Flush(EventBatch* outputs = nullptr);
+
+  void CloseSource(int source) { distributor_.Close(source); }
+
+  Engine& engine() { return *engine_; }
+  const EventDistributor& distributor() const { return distributor_; }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+  EventDistributor distributor_;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_RUNTIME_DISTRIBUTOR_H_

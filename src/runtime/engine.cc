@@ -1,0 +1,482 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "algebra/context_ops.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace caesar {
+
+namespace {
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::string RunStats::ToString() const {
+  std::ostringstream os;
+  os << "input=" << input_events << " derived=" << derived_events
+     << " max_latency=" << max_latency << "s mean_latency=" << mean_latency
+     << "s cpu=" << cpu_seconds << "s ops=" << ops_executed
+     << " suspended=" << suspended_chains << "/"
+     << suspended_chains + executed_chains << " txns=" << transactions;
+  for (const auto& [type, count] : derived_by_type) {
+    os << "\n  " << type << ": " << count;
+  }
+  return os.str();
+}
+
+// Window-transition bookkeeping of one operator chain.
+struct TransitionState {
+  bool was_active = false;
+  uint64_t last_active_bits = 0;  // gate bits active at last execution
+};
+
+namespace {
+
+// The gate of a chain: its context ids with their history anchors (see
+// plan/plan.h). Empty = always active.
+struct Gate {
+  std::vector<int> contexts;
+  std::vector<int> anchors;
+  uint64_t mask = 0;
+};
+
+Gate GateOf(const std::vector<int>& contexts, const std::vector<int>& anchors) {
+  Gate gate;
+  gate.contexts = contexts;
+  gate.anchors = anchors.empty() ? contexts : anchors;
+  for (int c : contexts) gate.mask |= uint64_t{1} << c;
+  return gate;
+}
+
+// Gate of a chain, extracted from its context-window operator (used for the
+// private guards of the context-independent baseline).
+Gate GateOfChain(const OpChain& chain) {
+  for (const auto& op : chain.ops) {
+    if (op->kind() == Operator::Kind::kContextWindow) {
+      const auto* window = static_cast<const ContextWindowOp*>(op.get());
+      return GateOf(window->context_ids(), window->anchors());
+    }
+  }
+  return Gate{};
+}
+
+// Applies window-transition side effects to `ops` before an execution at
+// the current `contexts` state:
+//  - window ended: context history discarded (Reset; Section 6.2);
+//  - window (re)started: state accumulated while inactive discarded
+//    (Reset), so all plan shapes stay semantically identical;
+//  - gate composition changed while staying active (e.g. a grouped-window
+//    boundary): partial matches survive exactly as far back as some
+//    currently-active window's *anchor* — the start of the oldest original
+//    window covering the current grouped window ("when the third window
+//    begins, the partial results within the first window expire").
+void ApplyWindowTransitions(const std::vector<std::unique_ptr<Operator>>& ops,
+                            const Gate& gate,
+                            const ContextBitVector& contexts,
+                            TransitionState* state) {
+  uint64_t active_bits = contexts.bits() & gate.mask;
+  bool active_now = active_bits != 0;
+
+  if (state->was_active && !active_now) {
+    for (const auto& op : ops) op->Reset();
+  } else if (state->was_active && active_now &&
+             active_bits != state->last_active_bits) {
+    Timestamp horizon = contexts.time();
+    for (size_t i = 0; i < gate.contexts.size(); ++i) {
+      if (contexts.IsActive(gate.contexts[i])) {
+        horizon = std::min(horizon, contexts.ActiveSince(gate.anchors[i]));
+      }
+    }
+    for (const auto& op : ops) op->ExpireBefore(horizon);
+  } else if (!state->was_active && active_now) {
+    for (const auto& op : ops) op->Reset();
+  }
+  state->was_active = active_now;
+  state->last_active_bits = active_bits;
+}
+
+}  // namespace
+
+// Per-partition instance of one compiled query.
+struct Engine::QueryState {
+  // A private guard chain of the context-independent baseline, with its own
+  // transition bookkeeping against the query-private context vector.
+  struct GuardInstance {
+    OpChain chain;
+    Gate gate;
+    TransitionState transition;
+  };
+
+  const CompiledQuery* spec = nullptr;  // shape reference (not executed)
+  Gate gate;                            // precomputed from the spec
+  OpChain chain;                        // private operator instances
+  std::vector<OperatorStats> op_stats;  // per chain op (when gathering)
+  std::vector<GuardInstance> guards;
+  // Query-private context vector (context-independent baseline only).
+  std::unique_ptr<ContextBitVector> private_contexts;
+
+  TransitionState transition;
+};
+
+struct Engine::PartitionState {
+  uint64_t key = 0;
+  std::unique_ptr<ContextBitVector> contexts;
+  std::vector<QueryState> deriving;
+  std::vector<QueryState> processing;
+  uint64_t ops_counter = 0;
+  int64_t suspended_chains = 0;
+  int64_t executed_chains = 0;
+  // Cumulative counterparts, never reset (for CollectStatistics).
+  int64_t total_suspended = 0;
+  int64_t total_executed = 0;
+  int64_t transactions = 0;
+  EventBatch pool;  // scratch, reused across transactions
+};
+
+Engine::Engine(ExecutablePlan plan, EngineOptions options)
+    : plan_(std::move(plan)), options_(std::move(options)) {
+  CAESAR_CHECK_GE(options_.num_threads, 1);
+}
+
+Engine::~Engine() = default;
+
+int Engine::num_partitions() const {
+  return static_cast<int>(partitions_.size());
+}
+
+const ContextBitVector* Engine::partition_contexts(uint64_t key) const {
+  auto it = partitions_.find(key);
+  return it == partitions_.end() ? nullptr : it->second->contexts.get();
+}
+
+Engine::PartitionState* Engine::GetOrCreatePartition(uint64_t key) {
+  auto it = partitions_.find(key);
+  if (it != partitions_.end()) return it->second.get();
+
+  auto partition = std::make_unique<PartitionState>();
+  partition->key = key;
+  partition->contexts = std::make_unique<ContextBitVector>(
+      std::max(plan_.num_contexts, 1), std::max(plan_.default_context, 0));
+  auto instantiate = [&](const std::vector<CompiledQuery>& specs,
+                         std::vector<QueryState>* states) {
+    states->reserve(specs.size());
+    for (const CompiledQuery& spec : specs) {
+      QueryState state;
+      state.spec = &spec;
+      state.gate = GateOf(spec.contexts, spec.anchors);
+      state.chain = spec.chain.Clone();
+      if (options_.gather_statistics) {
+        state.op_stats.resize(state.chain.ops.size());
+      }
+      for (const OpChain& guard : spec.guards) {
+        QueryState::GuardInstance instance;
+        instance.chain = guard.Clone();
+        instance.gate = GateOfChain(instance.chain);
+        state.guards.push_back(std::move(instance));
+      }
+      if (!state.guards.empty()) {
+        state.private_contexts = std::make_unique<ContextBitVector>(
+            std::max(plan_.num_contexts, 1),
+            std::max(plan_.default_context, 0));
+      }
+      states->push_back(std::move(state));
+    }
+  };
+  instantiate(plan_.deriving, &partition->deriving);
+  instantiate(plan_.processing, &partition->processing);
+  PartitionState* result = partition.get();
+  partitions_.emplace(key, std::move(partition));
+  return result;
+}
+
+uint64_t Engine::PartitionKeyOf(const Event& event) {
+  if (plan_.partition_by.empty()) return 0;
+  TypeId type_id = event.type_id();
+  if (type_id >= static_cast<TypeId>(partition_attr_cache_.size())) {
+    partition_attr_cache_.resize(type_id + 1);
+  }
+  std::vector<int>& indices = partition_attr_cache_[type_id];
+  if (indices.empty()) {
+    const Schema& schema = plan_.registry->type(type_id).schema;
+    for (const std::string& attr : plan_.partition_by) {
+      indices.push_back(schema.IndexOf(attr));
+    }
+  }
+  uint64_t key = 0x12345678;
+  for (int index : indices) {
+    if (index < 0) continue;
+    key = HashCombine(key, event.value(index).Hash());
+  }
+  return key;
+}
+
+RunStats Engine::Run(const EventBatch& input, EventBatch* outputs) {
+  RunStats stats;
+  stats.input_events = static_cast<int64_t>(input.size());
+  CAESAR_CHECK(IsTimeOrdered(input)) << "engine requires time-ordered input";
+
+  RunningStats latency;
+  uint64_t ops_before = 0;
+  for (const auto& [key, partition] : partitions_) {
+    ops_before += partition->ops_counter;
+  }
+
+  size_t i = 0;
+  const double tick_wall = options_.seconds_per_tick / options_.accel;
+  while (i < input.size()) {
+    Timestamp t = input[i]->time();
+    size_t j = i;
+    while (j < input.size() && input[j]->time() == t) ++j;
+
+    // Distribute this time stamp's events to partitions (the event
+    // distributor + event queues of Fig. 8). std::map gives deterministic
+    // partition order.
+    std::map<uint64_t, EventBatch> by_partition;
+    for (size_t k = i; k < j; ++k) {
+      by_partition[PartitionKeyOf(*input[k])].push_back(input[k]);
+    }
+
+    // Execute one transaction per partition; measure processing cost.
+    Stopwatch watch;
+    std::vector<std::pair<PartitionState*, const EventBatch*>> work;
+    work.reserve(by_partition.size());
+    for (auto& [key, events] : by_partition) {
+      work.emplace_back(GetOrCreatePartition(key), &events);
+    }
+    std::vector<EventBatch> derived(work.size());
+    if (options_.num_threads <= 1 || work.size() <= 1) {
+      for (size_t w = 0; w < work.size(); ++w) {
+        ProcessTransaction(work[w].first, t, *work[w].second, &derived[w]);
+      }
+    } else {
+      int threads = std::min<int>(options_.num_threads,
+                                  static_cast<int>(work.size()));
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      std::atomic<size_t> next{0};
+      for (int n = 0; n < threads; ++n) {
+        pool.emplace_back([&]() {
+          while (true) {
+            size_t w = next.fetch_add(1);
+            if (w >= work.size()) return;
+            ProcessTransaction(work[w].first, t, *work[w].second,
+                               &derived[w]);
+          }
+        });
+      }
+      for (std::thread& thread : pool) thread.join();
+    }
+    double dt = watch.ElapsedSeconds();
+    stats.cpu_seconds += dt;
+
+    // Virtual clock: queueing latency under the modeled arrival schedule.
+    double arrival = static_cast<double>(t) * tick_wall;
+    vclock_completion_ = std::max(vclock_completion_, arrival) + dt;
+    double lat = (vclock_completion_ - arrival) * options_.accel;
+    latency.Add(lat);
+
+    // Collect derived events (deterministic partition order).
+    EventBatch tick_derived;
+    for (EventBatch& batch : derived) {
+      for (EventPtr& event : batch) {
+        ++stats.derived_events;
+        ++stats.derived_by_type[plan_.registry->type(event->type_id()).name];
+        if (options_.collect_outputs && outputs != nullptr) {
+          outputs->push_back(event);
+        }
+        if (observer_) tick_derived.push_back(std::move(event));
+      }
+    }
+    if (observer_) observer_(t, tick_derived);
+
+    // Periodic garbage collection of stale operator state.
+    if (t - last_gc_ >= options_.gc_interval) {
+      last_gc_ = t;
+      Timestamp horizon = t - options_.gc_horizon;
+      for (auto& [key, partition] : partitions_) {
+        for (auto* states : {&partition->deriving, &partition->processing}) {
+          for (QueryState& query : *states) {
+            for (auto& op : query.chain.ops) op->ExpireBefore(horizon);
+            for (auto& guard : query.guards) {
+              for (auto& op : guard.chain.ops) op->ExpireBefore(horizon);
+            }
+          }
+        }
+      }
+    }
+
+    i = j;
+  }
+
+  stats.max_latency = latency.max();
+  stats.mean_latency = latency.mean();
+  uint64_t ops_after = 0;
+  for (const auto& [key, partition] : partitions_) {
+    ops_after += partition->ops_counter;
+    stats.suspended_chains += partition->suspended_chains;
+    stats.executed_chains += partition->executed_chains;
+    stats.transactions += partition->transactions;
+    partition->suspended_chains = 0;
+    partition->executed_chains = 0;
+    partition->transactions = 0;
+  }
+  stats.ops_executed = ops_after - ops_before;
+  stats.partitions = static_cast<int64_t>(partitions_.size());
+  return stats;
+}
+
+void Engine::ProcessTransaction(PartitionState* partition, Timestamp t,
+                                const EventBatch& events,
+                                EventBatch* derived) {
+  ++partition->transactions;
+  EventBatch& pool = partition->pool;
+  pool.clear();
+  pool.insert(pool.end(), events.begin(), events.end());
+
+  // Phase A: context derivation. Phase B: context processing. Queries see
+  // the pool slice that exists when their turn comes (topological order
+  // guarantees producers run first).
+  for (auto* states : {&partition->deriving, &partition->processing}) {
+    for (QueryState& query : *states) {
+      EventBatch out;
+      RunQuery(partition, &query, pool, t, &out);
+      if (query.spec->output_type != kInvalidTypeId) {
+        for (EventPtr& event : out) {
+          pool.push_back(event);
+          derived->push_back(std::move(event));
+        }
+      }
+    }
+  }
+}
+
+void Engine::RunQuery(PartitionState* partition, QueryState* query,
+                      const EventBatch& pool, Timestamp t, EventBatch* out) {
+  OpExecContext ctx;
+  ctx.registry = plan_.registry;
+  ctx.now = t;
+  ctx.ops_counter = &partition->ops_counter;
+
+  // Context-independent baseline: private guards re-derive the contexts.
+  if (query->private_contexts != nullptr) {
+    ctx.contexts = query->private_contexts.get();
+    EventBatch scratch_in, scratch_out;
+    for (QueryState::GuardInstance& guard : query->guards) {
+      // Guards mirror the shared deriving queries, including their window
+      // transition bookkeeping against the private vector.
+      ApplyWindowTransitions(guard.chain.ops, guard.gate,
+                             *query->private_contexts, &guard.transition);
+      const EventBatch* current = &pool;
+      for (auto& op : guard.chain.ops) {
+        scratch_out.clear();
+        op->Process(*current, &scratch_out, &ctx);
+        std::swap(scratch_in, scratch_out);
+        current = &scratch_in;
+        if (current->empty()) break;
+      }
+    }
+  } else {
+    ctx.contexts = partition->contexts.get();
+  }
+
+  // Window-transition bookkeeping runs after the guards so the private
+  // vector (context-independent mode) is already up to date for this time
+  // stamp, mirroring the shared derivation-before-processing order.
+  HandleWindowTransitions(partition, query, t);
+
+  // Main chain; an empty intermediate batch skips the rest of the chain —
+  // with the context window pushed down this is the suspension of the whole
+  // query during foreign contexts.
+  EventBatch ping, pong;
+  const EventBatch* current = &pool;
+  bool suspended_at_bottom = false;
+  for (size_t o = 0; o < query->chain.ops.size(); ++o) {
+    pong.clear();
+    uint64_t work_before = partition->ops_counter;
+    query->chain.ops[o]->Process(*current, &pong, &ctx);
+    if (!query->op_stats.empty()) {
+      OperatorStats& op_stats = query->op_stats[o];
+      ++op_stats.invocations;
+      op_stats.input_events += current->size();
+      op_stats.output_events += pong.size();
+      op_stats.work_units += partition->ops_counter - work_before;
+    }
+    std::swap(ping, pong);
+    current = &ping;
+    if (current->empty()) {
+      suspended_at_bottom =
+          (o == 0 &&
+           query->chain.ops[0]->kind() == Operator::Kind::kContextWindow &&
+           !pool.empty());
+      break;
+    }
+  }
+  if (suspended_at_bottom) {
+    ++partition->suspended_chains;
+    ++partition->total_suspended;
+  } else {
+    ++partition->executed_chains;
+    ++partition->total_executed;
+  }
+  if (current == &ping) {
+    *out = std::move(ping);
+  } else {
+    *out = *current;  // pool passed through an empty chain (not expected)
+  }
+}
+
+StatisticsReport Engine::CollectStatistics() const {
+  StatisticsReport report;
+  // Aggregate by (phase position, op index) across partitions; the plan's
+  // query order is identical in every partition.
+  int64_t suspended = 0;
+  int64_t executed = 0;
+  bool first_partition = true;
+  for (const auto& [key, partition] : partitions_) {
+    suspended += partition->total_suspended;
+    executed += partition->total_executed;
+    size_t row = 0;
+    for (const auto* states : {&partition->deriving, &partition->processing}) {
+      for (const QueryState& query : *states) {
+        for (size_t o = 0; o < query.op_stats.size(); ++o) {
+          if (first_partition) {
+            QueryOperatorStats entry;
+            entry.query = query.spec->name;
+            entry.op_index = static_cast<int>(o);
+            entry.kind = query.chain.ops[o]->kind();
+            entry.description = query.chain.ops[o]->DebugString();
+            report.operators.push_back(std::move(entry));
+          }
+          report.operators[row].stats.Merge(query.op_stats[o]);
+          ++row;
+        }
+      }
+    }
+    first_partition = false;
+  }
+  if (suspended + executed > 0) {
+    report.observed_context_activity =
+        static_cast<double>(executed) / static_cast<double>(suspended + executed);
+  }
+  return report;
+}
+
+void Engine::HandleWindowTransitions(PartitionState* partition,
+                                     QueryState* query, Timestamp t) {
+  (void)t;
+  const ContextBitVector& contexts = query->private_contexts != nullptr
+                                         ? *query->private_contexts
+                                         : *partition->contexts;
+  ApplyWindowTransitions(query->chain.ops, query->gate, contexts,
+                         &query->transition);
+}
+
+}  // namespace caesar

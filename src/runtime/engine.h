@@ -1,0 +1,169 @@
+// The CAESAR execution infrastructure (Section 6).
+//
+// The engine instantiates the executable plan per stream partition (per
+// unidirectional road segment in Linear Road), maintains each partition's
+// context bit vector, and processes the input stream as *stream
+// transactions*: all events with the same application time stamp form one
+// transaction per partition. The time-driven scheduler processes time stamps
+// strictly in order; within a transaction, context derivation runs before
+// context processing, so processing queries always observe the contexts
+// derived at (or before) their time stamp — the paper's correctness
+// criterion for conflicting reads/writes of shared context data.
+//
+// Context-aware routing and suspension: each query chain carries its
+// context-window operator; with push-down the chain empties immediately for
+// inactive contexts and the rest of the chain is skipped. Window
+// transitions additionally manage the *context history*: when a query's
+// (original) window ends its partial matches are discarded; across grouped
+// windows of one original window they are retained, expiring one grouped
+// window behind (Section 6.2).
+//
+// Latency model: processing cost is measured in wall time per time stamp;
+// arrival times derive from application time at a configurable acceleration
+// factor, and a virtual clock turns measured cost into queueing latency:
+//   completion(t) = max(arrival(t), completion(prev)) + cost(t)
+//   latency(t)   = (completion(t) - arrival(t)) * accel     [sim seconds]
+// This keeps the experiments deterministic w.r.t. load shape while using
+// real measured CPU cost.
+
+#ifndef CAESAR_RUNTIME_ENGINE_H_
+#define CAESAR_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "plan/plan.h"
+#include "runtime/context_vector.h"
+#include "runtime/statistics.h"
+
+namespace caesar {
+
+// Engine configuration.
+struct EngineOptions {
+  // Worker threads for per-partition transactions (1 = serial,
+  // deterministic).
+  int num_threads = 1;
+
+  // Acceleration of the latency model: how many simulated seconds arrive
+  // per wall second of processing budget. Higher = heavier load.
+  double accel = 100.0;
+
+  // Simulated seconds per application tick (Linear Road: 1).
+  double seconds_per_tick = 1.0;
+
+  // Garbage collection cadence and horizon (ticks): every `gc_interval`
+  // ticks, operator state older than `gc_horizon` is dropped.
+  Timestamp gc_interval = 120;
+  Timestamp gc_horizon = 900;
+
+  // Collect derived events into the output batch passed to Run.
+  bool collect_outputs = true;
+
+  // Record per-operator statistics (the Fig. 8 statistics gatherer); adds a
+  // small per-operator bookkeeping cost. Snapshot via CollectStatistics().
+  bool gather_statistics = false;
+};
+
+// Aggregate results of one Run.
+struct RunStats {
+  int64_t input_events = 0;
+  int64_t derived_events = 0;
+  // Derived event counts by type name.
+  std::map<std::string, int64_t> derived_by_type;
+
+  // Latency (simulated seconds; see header comment).
+  double max_latency = 0.0;
+  double mean_latency = 0.0;
+
+  // Total measured processing wall time.
+  double cpu_seconds = 0.0;
+  // Operator work units (see OpExecContext).
+  uint64_t ops_executed = 0;
+  // Chain executions skipped entirely because the bottom context window was
+  // closed (the benefit of push-down + routing).
+  int64_t suspended_chains = 0;
+  // Chain executions that did run.
+  int64_t executed_chains = 0;
+  int64_t transactions = 0;
+  int64_t partitions = 0;
+
+  std::string ToString() const;
+};
+
+// Per-timestamp observer: (time, events derived at this time stamp).
+using TickObserver =
+    std::function<void(Timestamp, const EventBatch& derived)>;
+
+// The CAESAR engine. Owns per-partition plan instances and context state.
+class Engine {
+ public:
+  // `plan` is the translated (and possibly optimizer-shaped) plan.
+  Engine(ExecutablePlan plan, EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Processes a time-ordered input stream to completion and returns run
+  // statistics. Derived events are appended to `outputs` if non-null (in
+  // deterministic order). May be called repeatedly; state carries over.
+  RunStats Run(const EventBatch& input, EventBatch* outputs = nullptr);
+
+  // Optional per-timestamp observer (set before Run).
+  void SetTickObserver(TickObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Number of partitions instantiated so far.
+  int num_partitions() const;
+
+  // Context state of a partition (for tests); null if the partition does
+  // not exist.
+  const ContextBitVector* partition_contexts(uint64_t key) const;
+
+  // Snapshot of gathered per-operator statistics, aggregated across
+  // partitions (requires EngineOptions::gather_statistics).
+  StatisticsReport CollectStatistics() const;
+
+ private:
+  struct PartitionState;
+  struct QueryState;
+
+  PartitionState* GetOrCreatePartition(uint64_t key);
+  uint64_t PartitionKeyOf(const Event& event);
+
+  // Executes one stream transaction (one partition, one time stamp).
+  void ProcessTransaction(PartitionState* partition, Timestamp t,
+                          const EventBatch& events, EventBatch* derived);
+
+  // Runs one query chain (with guards in CI mode) over the pool slice.
+  void RunQuery(PartitionState* partition, QueryState* query,
+                const EventBatch& pool, Timestamp t, EventBatch* out);
+
+  // Window-transition bookkeeping before a query executes.
+  void HandleWindowTransitions(PartitionState* partition, QueryState* query,
+                               Timestamp t);
+
+  ExecutablePlan plan_;
+  EngineOptions options_;
+  TickObserver observer_;
+
+  // Partition attribute indices per event type (lazily resolved; -2 =
+  // unresolved, -1 = attribute absent).
+  std::vector<std::vector<int>> partition_attr_cache_;
+
+  std::map<uint64_t, std::unique_ptr<PartitionState>> partitions_;
+
+  // Virtual clock state (persists across Run calls).
+  double vclock_completion_ = 0.0;
+  Timestamp last_gc_ = 0;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_RUNTIME_ENGINE_H_

@@ -1,0 +1,21 @@
+#include "runtime/statistics.h"
+
+#include <sstream>
+
+namespace caesar {
+
+std::string StatisticsReport::ToString() const {
+  std::ostringstream os;
+  os << "observed context activity: " << observed_context_activity << "\n";
+  for (const QueryOperatorStats& row : operators) {
+    os << "  " << row.query << " #" << row.op_index << " "
+       << OperatorKindName(row.kind) << " [" << row.description
+       << "]: in=" << row.stats.input_events
+       << " out=" << row.stats.output_events
+       << " sel=" << row.stats.ObservedSelectivity()
+       << " cost/event=" << row.stats.ObservedUnitCost() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace caesar

@@ -1,0 +1,72 @@
+// Statistics gatherer (the optimization-layer component of Fig. 8).
+//
+// When enabled, the engine records per-operator runtime statistics —
+// invocations, input/output event counts, work units — aggregated across
+// all partitions. The observed selectivities and the observed context
+// activity calibrate the cost model (optimizer/cost_model.h), closing the
+// paper's loop between the statistics gatherer and the optimizer.
+
+#ifndef CAESAR_RUNTIME_STATISTICS_H_
+#define CAESAR_RUNTIME_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+
+namespace caesar {
+
+// Aggregated runtime statistics of one operator instance position.
+struct OperatorStats {
+  uint64_t invocations = 0;
+  uint64_t input_events = 0;
+  uint64_t output_events = 0;
+  uint64_t work_units = 0;
+
+  // Observed output/input ratio; falls back to 1.0 with no input.
+  double ObservedSelectivity() const {
+    return input_events == 0
+               ? 1.0
+               : static_cast<double>(output_events) /
+                     static_cast<double>(input_events);
+  }
+
+  // Observed work units per input event.
+  double ObservedUnitCost() const {
+    return input_events == 0
+               ? 0.0
+               : static_cast<double>(work_units) /
+                     static_cast<double>(input_events);
+  }
+
+  void Merge(const OperatorStats& other) {
+    invocations += other.invocations;
+    input_events += other.input_events;
+    output_events += other.output_events;
+    work_units += other.work_units;
+  }
+};
+
+// One row of the engine's statistics report: a (query, operator) position.
+struct QueryOperatorStats {
+  std::string query;
+  int op_index = 0;
+  Operator::Kind kind = Operator::Kind::kFilter;
+  std::string description;
+  OperatorStats stats;
+};
+
+// Full statistics snapshot.
+struct StatisticsReport {
+  std::vector<QueryOperatorStats> operators;
+  // Fraction of chain executions that actually ran (vs suspended); the
+  // observed counterpart of CostModelParams::context_activity.
+  double observed_context_activity = 1.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_RUNTIME_STATISTICS_H_

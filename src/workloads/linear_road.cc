@@ -1,0 +1,381 @@
+#include "workloads/linear_road.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "expr/parser.h"
+
+namespace caesar {
+
+namespace {
+
+// One scheduled traffic episode in a segment.
+struct Episode {
+  Timestamp start;
+  Timestamp end;
+};
+
+bool InEpisode(const std::vector<Episode>& episodes, Timestamp t) {
+  for (const Episode& episode : episodes) {
+    if (t >= episode.start && t < episode.end) return true;
+  }
+  return false;
+}
+
+std::vector<Episode> ScheduleEpisodes(double expected_count,
+                                      Timestamp duration,
+                                      Timestamp episode_duration, Rng* rng) {
+  std::vector<Episode> episodes;
+  int count = static_cast<int>(rng->Poisson(expected_count));
+  for (int i = 0; i < count; ++i) {
+    if (duration <= episode_duration) break;
+    Timestamp start = rng->Uniform(0, duration - episode_duration);
+    episodes.push_back({start, start + episode_duration});
+  }
+  std::sort(episodes.begin(), episodes.end(),
+            [](const Episode& a, const Episode& b) { return a.start < b.start; });
+  return episodes;
+}
+
+}  // namespace
+
+TypeId RegisterLinearRoadTypes(TypeRegistry* registry) {
+  return registry->RegisterOrGet("PositionReport",
+                                 {{"vid", ValueType::kInt},
+                                  {"speed", ValueType::kInt},
+                                  {"xway", ValueType::kInt},
+                                  {"lane", ValueType::kInt},
+                                  {"dir", ValueType::kInt},
+                                  {"seg", ValueType::kInt},
+                                  {"pos", ValueType::kInt},
+                                  {"sec", ValueType::kInt}});
+}
+
+EventBatch GenerateLinearRoadStream(const LinearRoadConfig& config,
+                                    TypeRegistry* registry) {
+  TypeId pr = RegisterLinearRoadTypes(registry);
+  Rng rng(config.seed);
+  EventBatch events;
+  int64_t next_vid = 1;
+  const Timestamp interval = config.report_interval;
+  const int num_intervals =
+      static_cast<int>(config.duration / interval) + 1;
+
+  auto emit = [&](int64_t vid, int64_t speed, int xway, int64_t lane, int dir,
+                  int seg, int64_t pos, Timestamp sec) {
+    if (sec >= config.duration) return;
+    events.push_back(MakeEvent(
+        pr, sec,
+        {Value(vid), Value(speed), Value(int64_t{xway}), Value(lane),
+         Value(int64_t{dir}), Value(int64_t{seg}), Value(pos), Value(sec)}));
+  };
+
+  for (int xway = 0; xway < config.num_xways; ++xway) {
+    for (int dir = 0; dir < 2; ++dir) {
+      for (int seg = 0; seg < config.num_segments; ++seg) {
+        // Per-segment density variability (Fig. 10a): some segments carry
+        // more traffic than others.
+        double density = rng.UniformReal(0.5, 1.5);
+        int base_slots = std::max(
+            1, static_cast<int>(config.cars_per_segment * density + 0.5));
+        int extra_slots = static_cast<int>(
+            base_slots * (config.congestion_multiplier - 1.0) + 0.5);
+
+        std::vector<Episode> congestion = ScheduleEpisodes(
+            config.congestion_episodes_per_segment, config.duration,
+            config.congestion_duration, &rng);
+        std::vector<Episode> accidents = ScheduleEpisodes(
+            config.accident_episodes_per_segment, config.duration,
+            config.accident_duration, &rng);
+
+        // Regular traffic: base slots always populated (subject to the
+        // ramp), extra slots only during congestion episodes.
+        int total_slots = base_slots + extra_slots;
+        struct Slot {
+          int64_t vid = 0;
+          int life_left = 0;  // report intervals until the car leaves
+        };
+        std::vector<Slot> slots(total_slots);
+
+        for (int k = 0; k < num_intervals; ++k) {
+          Timestamp window_start = static_cast<Timestamp>(k) * interval;
+          double progress =
+              static_cast<double>(window_start) / config.duration;
+          double activity = config.ramp_start_fraction +
+                            (1.0 - config.ramp_start_fraction) * progress;
+          bool congested = InEpisode(congestion, window_start);
+          for (int s = 0; s < total_slots; ++s) {
+            bool is_extra = s >= base_slots;
+            bool slot_enabled =
+                is_extra ? congested
+                         : (static_cast<double>(s) + 0.5) / base_slots <
+                               activity;
+            if (!slot_enabled) {
+              // Car leaves when its lane closes; a fresh vid arrives later.
+              slots[s].life_left = 0;
+              continue;
+            }
+            if (slots[s].life_left <= 0) {
+              slots[s].vid = next_vid++;
+              slots[s].life_left = static_cast<int>(rng.Uniform(5, 30));
+            }
+            --slots[s].life_left;
+            int64_t vid = slots[s].vid;
+            Timestamp sec = window_start + (vid % interval);
+            bool slow = congested;
+            int64_t speed = slow ? 10 + vid % 25 : 45 + vid % 25;
+            // Exit-lane reports (lane 4) are exempt from tolls.
+            int64_t lane = (vid + k) % 10 == 0 ? 4 : vid % 4;
+            int64_t pos = static_cast<int64_t>(seg) * 5280 + (vid * 37) % 5000;
+            emit(vid, speed, xway, lane, dir, seg, pos, sec);
+          }
+        }
+
+        // Accidents: two fresh cars stopped at the same position for the
+        // episode; they move again (speed > 0) right after it ends, which
+        // is the accident-clearance signal.
+        for (const Episode& episode : accidents) {
+          int64_t car1 = next_vid++;
+          int64_t car2 = next_vid++;
+          int64_t crash_pos = static_cast<int64_t>(seg) * 5280 + 1000;
+          for (int64_t vid : {car1, car2}) {
+            Timestamp first =
+                (episode.start / interval) * interval + (vid % interval);
+            while (first < episode.start) first += interval;
+            Timestamp sec = first;
+            for (; sec < episode.end; sec += interval) {
+              emit(vid, 0, xway, vid % 4, dir, seg, crash_pos, sec);
+            }
+            // Clearance report, on the car's regular 30-second grid.
+            emit(vid, 55, xway, vid % 4, dir, seg, crash_pos, sec);
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const EventPtr& a, const EventPtr& b) {
+              return a->time() < b->time();
+            });
+  return events;
+}
+
+namespace {
+
+ExprPtr MustParseExpr(const std::string& text) {
+  Result<ExprPtr> expr = ParseExpr(text);
+  CAESAR_CHECK(expr.ok()) << expr.status() << " in " << text;
+  return std::move(expr).value();
+}
+
+// Appends `index` to a base name for replicated queries; replica 0 keeps
+// the plain benchmark name.
+std::string ReplicaName(const std::string& base, int index) {
+  return index == 0 ? base : base + "_" + std::to_string(index);
+}
+
+}  // namespace
+
+Result<CaesarModel> MakeLinearRoadModel(const LinearRoadModelConfig& config,
+                                        TypeRegistry* registry) {
+  RegisterLinearRoadTypes(registry);
+  CaesarModel model(registry);
+  CAESAR_RETURN_IF_ERROR(model.AddContext("clear"));
+  CAESAR_RETURN_IF_ERROR(model.AddContext("congestion"));
+  CAESAR_RETURN_IF_ERROR(model.AddContext("accident"));
+  model.SetPartitionBy({"xway", "dir", "seg"});
+
+  // --- Context deriving queries (Fig. 1) ---
+
+  {
+    // switch clear -> congestion if many slow cars.
+    Query query;
+    query.name = "detect_congestion";
+    query.action = ContextAction::kSwitch;
+    query.target_context = "congestion";
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kAggregate;
+    pattern.items.push_back({"PositionReport", "p", false});
+    pattern.window_length = config.detection_window;
+    pattern.aggregates = {{AggregateFunc::kCount, "", "cnt"},
+                          {AggregateFunc::kAvg, "speed", "spd"}};
+    pattern.having = MustParseExpr(
+        "cnt >= " + std::to_string(config.congestion_min_reports) +
+        " AND spd < " + std::to_string(config.congestion_speed));
+    query.pattern = std::move(pattern);
+    query.contexts = {"clear"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+  {
+    // switch congestion -> clear if traffic flows smoothly.
+    Query query;
+    query.name = "detect_clear";
+    query.action = ContextAction::kSwitch;
+    query.target_context = "clear";
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kAggregate;
+    pattern.items.push_back({"PositionReport", "p", false});
+    pattern.window_length = config.detection_window;
+    pattern.aggregates = {{AggregateFunc::kCount, "", "cnt"},
+                          {AggregateFunc::kAvg, "speed", "spd"}};
+    pattern.having =
+        MustParseExpr("spd >= " + std::to_string(config.clear_speed));
+    query.pattern = std::move(pattern);
+    query.contexts = {"congestion"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+  {
+    // Helper: a car reporting speed 0 twice in a row at the same position
+    // is stopped.
+    Query query;
+    query.name = "detect_stopped_car";
+    query.derivation_helper = true;
+    DeriveSpec derive;
+    derive.event_type = "StoppedCar";
+    derive.args = {MakeAttrRef("b", "vid"), MakeAttrRef("b", "xway"),
+                   MakeAttrRef("b", "dir"), MakeAttrRef("b", "seg"),
+                   MakeAttrRef("b", "pos"), MakeAttrRef("b", "sec")};
+    derive.attr_names = {"vid", "xway", "dir", "seg", "pos", "sec"};
+    query.derive = std::move(derive);
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kSeq;
+    pattern.items = {{"PositionReport", "a", false},
+                     {"PositionReport", "b", false}};
+    pattern.within = 60;
+    query.pattern = std::move(pattern);
+    query.where = MustParseExpr(
+        "a.vid = b.vid AND a.speed = 0 AND b.speed = 0 AND a.pos = b.pos "
+        "AND a.sec + 30 = b.sec");
+    query.contexts = {"clear", "congestion", "accident"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+  {
+    // initiate accident if two distinct cars are stopped at one position.
+    Query query;
+    query.name = "detect_accident";
+    query.action = ContextAction::kInitiate;
+    query.target_context = "accident";
+    DeriveSpec derive;
+    derive.event_type = "Accident";
+    derive.args = {MakeAttrRef("s2", "xway"), MakeAttrRef("s2", "dir"),
+                   MakeAttrRef("s2", "seg"), MakeAttrRef("s2", "pos"),
+                   MakeAttrRef("s2", "sec")};
+    derive.attr_names = {"xway", "dir", "seg", "pos", "sec"};
+    query.derive = std::move(derive);
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kSeq;
+    pattern.items = {{"StoppedCar", "s1", false}, {"StoppedCar", "s2", false}};
+    pattern.within = 90;
+    query.pattern = std::move(pattern);
+    query.where = MustParseExpr("s1.pos = s2.pos AND s1.vid != s2.vid");
+    query.contexts = {"clear", "congestion"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+  {
+    // terminate accident once a stopped car moves again.
+    Query query;
+    query.name = "detect_clearance";
+    query.action = ContextAction::kTerminate;
+    query.target_context = "accident";
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kSeq;
+    pattern.items = {{"StoppedCar", "s", false},
+                     {"PositionReport", "p", false}};
+    pattern.within = 120;
+    query.pattern = std::move(pattern);
+    query.where = MustParseExpr("p.vid = s.vid AND p.speed > 0");
+    query.contexts = {"accident"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+
+  // --- Context processing queries (Fig. 3), replicated to scale ---
+
+  for (int r = 0; r < config.processing_replicas; ++r) {
+    {
+      // Query 2 of Fig. 3: cars entering a congested segment.
+      Query query;
+      query.name = ReplicaName("new_traveling_car", r);
+      DeriveSpec derive;
+      derive.event_type = ReplicaName("NewTravelingCar", r);
+      derive.args = {MakeAttrRef("p2", "vid"),  MakeAttrRef("p2", "xway"),
+                     MakeAttrRef("p2", "dir"),  MakeAttrRef("p2", "seg"),
+                     MakeAttrRef("p2", "lane"), MakeAttrRef("p2", "pos"),
+                     MakeAttrRef("p2", "sec")};
+      derive.attr_names = {"vid", "xway", "dir", "seg", "lane", "pos", "sec"};
+      query.derive = std::move(derive);
+      PatternSpec pattern;
+      pattern.kind = PatternSpec::Kind::kSeq;
+      pattern.items = {{"PositionReport", "p1", true},
+                       {"PositionReport", "p2", false}};
+      pattern.within = 60;
+      query.pattern = std::move(pattern);
+      query.where = MustParseExpr(
+          "p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4");
+      query.contexts = {"congestion"};
+      CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+    }
+    {
+      // Query 1 of Fig. 3: toll notifications for new traveling cars.
+      Query query;
+      query.name = ReplicaName("toll_notification", r);
+      DeriveSpec derive;
+      derive.event_type = ReplicaName("TollNotification", r);
+      derive.args = {MakeAttrRef("p", "vid"), MakeAttrRef("p", "seg"),
+                     MakeAttrRef("p", "sec"), MakeConstant(int64_t{5})};
+      derive.attr_names = {"vid", "seg", "sec", "toll"};
+      query.derive = std::move(derive);
+      PatternSpec pattern;
+      pattern.items = {{ReplicaName("NewTravelingCar", r), "p", false}};
+      query.pattern = std::move(pattern);
+      query.contexts = {"congestion"};
+      CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+    }
+    {
+      // Zero toll during clear roads and accidents (benchmark rule).
+      Query query;
+      query.name = ReplicaName("zero_toll", r);
+      DeriveSpec derive;
+      derive.event_type = ReplicaName("ZeroToll", r);
+      derive.args = {MakeAttrRef("p2", "vid"), MakeAttrRef("p2", "seg"),
+                     MakeAttrRef("p2", "sec"), MakeConstant(int64_t{0})};
+      derive.attr_names = {"vid", "seg", "sec", "toll"};
+      query.derive = std::move(derive);
+      PatternSpec pattern;
+      pattern.kind = PatternSpec::Kind::kSeq;
+      pattern.items = {{"PositionReport", "p1", true},
+                       {"PositionReport", "p2", false}};
+      pattern.within = 60;
+      query.pattern = std::move(pattern);
+      query.where = MustParseExpr(
+          "p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4");
+      query.contexts = {"clear", "accident"};
+      CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+    }
+    {
+      // Accident warnings for cars in the affected segment.
+      Query query;
+      query.name = ReplicaName("accident_warning", r);
+      DeriveSpec derive;
+      derive.event_type = ReplicaName("AccidentWarning", r);
+      derive.args = {MakeAttrRef("p", "vid"), MakeAttrRef("p", "seg"),
+                     MakeAttrRef("p", "sec")};
+      derive.attr_names = {"vid", "seg", "sec"};
+      query.derive = std::move(derive);
+      PatternSpec pattern;
+      pattern.items = {{"PositionReport", "p", false}};
+      query.pattern = std::move(pattern);
+      query.where = MustParseExpr("p.lane != 4");
+      query.contexts = {"accident"};
+      CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+    }
+  }
+
+  CAESAR_RETURN_IF_ERROR(model.Normalize());
+  return model;
+}
+
+}  // namespace caesar

@@ -1,0 +1,88 @@
+// Linear Road benchmark substrate (Arasu et al., VLDB'04), scaled for the
+// CAESAR evaluation (Section 7).
+//
+// The original benchmark ships MITSIM-generated traffic traces we do not
+// have; this module provides a synthetic generator that reproduces the
+// stream properties the CAESAR experiments rely on (see DESIGN.md):
+//   - position reports every `report_interval` seconds per car, staggered
+//     by vehicle id;
+//   - variable car density across segments (Fig. 10a);
+//   - input rate ramping up over the run (Fig. 10b);
+//   - congestion episodes (many slow cars) and accident episodes (two cars
+//     stopped at the same position until cleared), derivable from the data
+//    alone — the context windows of the traffic model are *not* injected,
+//    they emerge from the generated reports.
+//
+// MakeLinearRoadModel builds the CAESAR traffic model of Fig. 1/3: contexts
+// clear (default), congestion and accident; context deriving queries for
+// congestion detection / clearing and accident detection / clearance;
+// context processing queries deriving toll notifications (congestion),
+// zero-toll notifications (clear, accident) and accident warnings
+// (accident). Processing queries can be replicated to scale the workload
+// ("we simulate low, average and high query workloads by replicating the
+// event queries of the benchmark").
+
+#ifndef CAESAR_WORKLOADS_LINEAR_ROAD_H_
+#define CAESAR_WORKLOADS_LINEAR_ROAD_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "query/model.h"
+
+namespace caesar {
+
+// Generator parameters. Defaults give a laptop-scale run with the paper's
+// qualitative shape; benchmarks scale them via flags.
+struct LinearRoadConfig {
+  int num_xways = 1;            // expressways ("roads")
+  int num_segments = 20;        // segments per direction
+  Timestamp duration = 3600;    // simulated seconds
+  int report_interval = 30;     // seconds between reports of one car
+  int cars_per_segment = 4;     // base car count, clear traffic
+  double congestion_multiplier = 4.0;  // car multiplier in congested segments
+  // Input rate ramp: activity grows linearly from ramp_start_fraction to
+  // 1.0 over the run (Fig. 10b).
+  double ramp_start_fraction = 0.3;
+  // Expected number of congestion episodes per segment over the whole run.
+  double congestion_episodes_per_segment = 1.0;
+  Timestamp congestion_duration = 600;
+  // Expected accident episodes per segment over the run.
+  double accident_episodes_per_segment = 0.25;
+  Timestamp accident_duration = 300;
+  uint64_t seed = 42;
+};
+
+// Registers the PositionReport input type (idempotent) and returns its id.
+// Schema: vid, speed, xway, lane, dir, seg, pos, sec (all int, as in the
+// benchmark; lane 4 is the exit lane).
+TypeId RegisterLinearRoadTypes(TypeRegistry* registry);
+
+// Generates the position-report stream, time-ordered.
+EventBatch GenerateLinearRoadStream(const LinearRoadConfig& config,
+                                    TypeRegistry* registry);
+
+// Thresholds tying the model's deriving queries to the generator's traffic
+// regimes.
+struct LinearRoadModelConfig {
+  // Congestion: at least `congestion_min_reports` reports in the last
+  // `detection_window` seconds with average speed below `congestion_speed`.
+  int congestion_min_reports = 20;
+  double congestion_speed = 40.0;
+  // Clear: average speed at or above `clear_speed`.
+  double clear_speed = 45.0;
+  Timestamp detection_window = 60;
+  // Number of replicas of each context processing query (workload scaling).
+  int processing_replicas = 1;
+};
+
+// Builds the normalized CAESAR traffic model (Fig. 1/3). Requires the types
+// from RegisterLinearRoadTypes in `registry`.
+Result<CaesarModel> MakeLinearRoadModel(const LinearRoadModelConfig& config,
+                                        TypeRegistry* registry);
+
+}  // namespace caesar
+
+#endif  // CAESAR_WORKLOADS_LINEAR_ROAD_H_

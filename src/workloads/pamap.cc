@@ -1,0 +1,158 @@
+#include "workloads/pamap.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "expr/parser.h"
+
+namespace caesar {
+
+namespace {
+
+ExprPtr MustParseExpr(const std::string& text) {
+  Result<ExprPtr> expr = ParseExpr(text);
+  CAESAR_CHECK(expr.ok()) << expr.status() << " in " << text;
+  return std::move(expr).value();
+}
+
+}  // namespace
+
+TypeId RegisterPamapTypes(TypeRegistry* registry) {
+  return registry->RegisterOrGet("ActivityReport",
+                                 {{"subject", ValueType::kInt},
+                                  {"hr", ValueType::kInt},
+                                  {"intensity", ValueType::kInt},
+                                  {"sec", ValueType::kInt}});
+}
+
+EventBatch GeneratePamapStream(const PamapConfig& config,
+                               TypeRegistry* registry) {
+  TypeId report = RegisterPamapTypes(registry);
+  Rng rng(config.seed);
+  EventBatch events;
+
+  for (int subject = 0; subject < config.num_subjects; ++subject) {
+    // Schedule exercise phases.
+    struct Phase {
+      Timestamp start;
+      Timestamp end;
+    };
+    std::vector<Phase> phases;
+    int count = static_cast<int>(rng.Poisson(config.exercise_phases_per_subject));
+    for (int i = 0; i < count; ++i) {
+      if (config.duration <= config.exercise_duration) break;
+      Timestamp start =
+          rng.Uniform(0, config.duration - config.exercise_duration);
+      phases.push_back({start, start + config.exercise_duration});
+    }
+    auto exercising = [&](Timestamp t) {
+      for (const Phase& phase : phases) {
+        if (t >= phase.start && t < phase.end) return true;
+      }
+      return false;
+    };
+
+    // Reports, staggered per subject so time stamps interleave.
+    for (Timestamp t = subject % config.report_interval; t < config.duration;
+         t += config.report_interval) {
+      bool active = exercising(t);
+      int64_t intensity =
+          active ? rng.Uniform(7, 9) : rng.Uniform(1, 3);
+      int64_t hr = active ? rng.Uniform(110, 165) : rng.Uniform(58, 82);
+      events.push_back(MakeEvent(
+          report, t,
+          {Value(int64_t{subject}), Value(hr), Value(intensity), Value(t)}));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const EventPtr& a, const EventPtr& b) {
+              return a->time() < b->time();
+            });
+  return events;
+}
+
+Result<CaesarModel> MakePamapModel(const PamapModelConfig& config,
+                                   TypeRegistry* registry) {
+  RegisterPamapTypes(registry);
+  CaesarModel model(registry);
+  CAESAR_RETURN_IF_ERROR(model.AddContext("rest"));
+  CAESAR_RETURN_IF_ERROR(model.AddContext("active"));
+  model.SetPartitionBy({"subject"});
+
+  {
+    Query query;
+    query.name = "detect_activity";
+    query.action = ContextAction::kSwitch;
+    query.target_context = "active";
+    PatternSpec pattern;
+    pattern.items = {{"ActivityReport", "r", false}};
+    query.pattern = std::move(pattern);
+    query.where = MustParseExpr("r.intensity >= " +
+                                std::to_string(config.active_intensity));
+    query.contexts = {"rest"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+  {
+    Query query;
+    query.name = "detect_rest";
+    query.action = ContextAction::kSwitch;
+    query.target_context = "rest";
+    PatternSpec pattern;
+    pattern.items = {{"ActivityReport", "r", false}};
+    query.pattern = std::move(pattern);
+    query.where = MustParseExpr("r.intensity <= " +
+                                std::to_string(config.rest_intensity));
+    query.contexts = {"active"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+
+  // Scalable workload: heart-rate escalation patterns, only meaningful
+  // while the subject is active.
+  for (int q = 0; q < config.active_queries; ++q) {
+    Query query;
+    query.name = "hr_spike_" + std::to_string(q);
+    DeriveSpec derive;
+    derive.event_type = "HrSpike_" + std::to_string(q);
+    derive.args = {MakeAttrRef("b", "subject"), MakeAttrRef("b", "hr"),
+                   MakeAttrRef("b", "sec")};
+    derive.attr_names = {"subject", "hr", "sec"};
+    query.derive = std::move(derive);
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kSeq;
+    pattern.items = {{"ActivityReport", "a", false},
+                     {"ActivityReport", "b", false}};
+    pattern.within = 60;
+    query.pattern = std::move(pattern);
+    query.where = MustParseExpr(
+        "b.hr > a.hr + 5 AND b.hr >= " + std::to_string(120 + 3 * q));
+    query.contexts = {"active"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+
+  // One light-weight recovery check during rest keeps the rest context
+  // non-trivial.
+  {
+    Query query;
+    query.name = "recovery_check";
+    DeriveSpec derive;
+    derive.event_type = "RecoveryAnomaly";
+    derive.args = {MakeAttrRef("r", "subject"), MakeAttrRef("r", "hr"),
+                   MakeAttrRef("r", "sec")};
+    derive.attr_names = {"subject", "hr", "sec"};
+    query.derive = std::move(derive);
+    PatternSpec pattern;
+    pattern.items = {{"ActivityReport", "r", false}};
+    query.pattern = std::move(pattern);
+    query.where = MustParseExpr("r.hr > 95");
+    query.contexts = {"rest"};
+    CAESAR_RETURN_IF_ERROR(model.AddQuery(std::move(query)).status());
+  }
+
+  CAESAR_RETURN_IF_ERROR(model.Normalize());
+  return model;
+}
+
+}  // namespace caesar

@@ -1,0 +1,318 @@
+// End-to-end tests of the CAESAR runtime: context transitions driven by the
+// stream, suspension of irrelevant queries, partitioned execution, context
+// history management, and equivalence between the context-aware engine and
+// the context-independent baseline.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "plan/translator.h"
+#include "query/parser.h"
+#include "runtime/engine.h"
+
+namespace caesar {
+namespace {
+
+constexpr char kMiniModel[] = R"(
+CONTEXTS normal, high DEFAULT normal;
+PARTITION BY seg;
+
+QUERY go_high
+SWITCH CONTEXT high
+PATTERN Reading r
+WHERE r.value > 10
+CONTEXT normal;
+
+QUERY go_normal
+SWITCH CONTEXT normal
+PATTERN Reading r
+WHERE r.value <= 10
+CONTEXT high;
+
+QUERY alert
+DERIVE Alert(r.seg AS seg, r.value AS value)
+PATTERN Reading r
+WHERE r.value > 15
+CONTEXT high;
+)";
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    reading_ = registry_.RegisterOrGet("Reading", {{"seg", ValueType::kInt},
+                                                   {"value", ValueType::kInt},
+                                                   {"sec", ValueType::kInt}});
+  }
+
+  CaesarModel Parse(const std::string& text) {
+    auto model = ParseModel(text, &registry_);
+    EXPECT_TRUE(model.ok()) << model.status();
+    return std::move(model).value();
+  }
+
+  EventPtr Reading(int64_t seg, int64_t value, Timestamp sec) {
+    return MakeEvent(reading_, sec, {Value(seg), Value(value), Value(sec)});
+  }
+
+  // Canonical string form of derived events for output comparison.
+  std::string Canonical(const EventBatch& events) {
+    std::multiset<std::string> lines;
+    for (const EventPtr& event : events) {
+      lines.insert(event->ToString(registry_));
+    }
+    std::ostringstream os;
+    for (const std::string& line : lines) os << line << "\n";
+    return os.str();
+  }
+
+  TypeRegistry registry_;
+  TypeId reading_;
+};
+
+TEST_F(EngineTest, ContextTransitionsGateProcessing) {
+  CaesarModel model = Parse(kMiniModel);
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Engine engine(std::move(plan).value(), EngineOptions());
+
+  EventBatch input = {
+      Reading(1, 5, 0),    // normal; alert chain suspended
+      Reading(1, 12, 1),   // switch to high; 12 <= 15: no alert
+      Reading(1, 20, 2),   // high: alert
+      Reading(1, 8, 3),    // switch back to normal
+      Reading(1, 14, 4),   // re-triggers high (14 > 10) but 14 <= 15
+  };
+  EventBatch outputs;
+  RunStats stats = engine.Run(input, &outputs);
+
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(registry_.type(outputs[0]->type_id()).name, "Alert");
+  EXPECT_EQ(outputs[0]->value(1).AsInt(), 20);
+  EXPECT_EQ(outputs[0]->time(), 2);
+  EXPECT_EQ(stats.input_events, 5);
+  EXPECT_EQ(stats.derived_events, 1);
+  EXPECT_EQ(stats.derived_by_type.at("Alert"), 1);
+  // The alert chain was suspended during normal time stamps (0, 4), and the
+  // go_normal chain during normal ones etc.
+  EXPECT_GT(stats.suspended_chains, 0);
+}
+
+TEST_F(EngineTest, SwitchAtSameTimestampAffectsProcessingPhase) {
+  CaesarModel model = Parse(kMiniModel);
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok());
+  Engine engine(std::move(plan).value(), EngineOptions());
+  // A single event both switches to high AND satisfies the alert predicate:
+  // derivation runs first, so the alert fires at the same time stamp.
+  EventBatch outputs;
+  engine.Run({Reading(1, 99, 0)}, &outputs);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0]->value(1).AsInt(), 99);
+}
+
+TEST_F(EngineTest, PartitionsHaveIndependentContexts) {
+  CaesarModel model = Parse(kMiniModel);
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok());
+  Engine engine(std::move(plan).value(), EngineOptions());
+  EventBatch outputs;
+  engine.Run(
+      {
+          Reading(1, 50, 0),  // seg 1 -> high, alert
+          Reading(2, 5, 0),   // seg 2 stays normal
+          Reading(1, 60, 1),  // seg 1 alert
+          Reading(2, 60, 1),  // seg 2: switches high now; 60 > 15 -> alert
+          Reading(2, 5, 2),   // seg 2 back to normal
+          Reading(2, 70, 3),  // seg 2 normal again: switch + alert
+      },
+      &outputs);
+  EXPECT_EQ(engine.num_partitions(), 2);
+  // seg1: alerts at 0 and 1. seg2: alerts at 1 and 3.
+  EXPECT_EQ(outputs.size(), 4u);
+}
+
+TEST_F(EngineTest, IncrementalRunsCarryState) {
+  CaesarModel model = Parse(kMiniModel);
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok());
+  Engine engine(std::move(plan).value(), EngineOptions());
+  EventBatch outputs;
+  engine.Run({Reading(1, 50, 0)}, &outputs);   // -> high
+  engine.Run({Reading(1, 20, 10)}, &outputs);  // still high: alert
+  EXPECT_EQ(outputs.size(), 2u);
+}
+
+TEST_F(EngineTest, TickObserverSeesDerivedEventsPerTimestamp) {
+  CaesarModel model = Parse(kMiniModel);
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok());
+  Engine engine(std::move(plan).value(), EngineOptions());
+  std::map<Timestamp, int> derived_per_tick;
+  engine.SetTickObserver([&](Timestamp t, const EventBatch& derived) {
+    derived_per_tick[t] = static_cast<int>(derived.size());
+  });
+  engine.Run({Reading(1, 5, 0), Reading(1, 50, 1), Reading(1, 60, 2)});
+  EXPECT_EQ(derived_per_tick[0], 0);
+  EXPECT_EQ(derived_per_tick[1], 1);
+  EXPECT_EQ(derived_per_tick[2], 1);
+}
+
+TEST_F(EngineTest, StatsArepopulated) {
+  CaesarModel model = Parse(kMiniModel);
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok());
+  Engine engine(std::move(plan).value(), EngineOptions());
+  RunStats stats = engine.Run({Reading(1, 5, 0), Reading(1, 50, 1)});
+  EXPECT_EQ(stats.input_events, 2);
+  EXPECT_EQ(stats.transactions, 2);
+  EXPECT_EQ(stats.partitions, 1);
+  EXPECT_GT(stats.ops_executed, 0u);
+  EXPECT_GT(stats.cpu_seconds, 0.0);
+  EXPECT_GE(stats.max_latency, 0.0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+// SEQ context history: partial matches are discarded when the scoping
+// window ends.
+TEST_F(EngineTest, ContextHistoryDiscardedAtWindowEnd) {
+  CaesarModel model = Parse(R"(
+CONTEXTS normal, high DEFAULT normal;
+PARTITION BY seg;
+
+QUERY go_high
+SWITCH CONTEXT high PATTERN Reading r WHERE r.value > 10 CONTEXT normal;
+QUERY go_normal
+SWITCH CONTEXT normal PATTERN Reading r WHERE r.value <= 10 CONTEXT high;
+
+QUERY pair
+DERIVE Pair(a.sec AS first_sec, b.sec AS second_sec)
+PATTERN SEQ(Reading a, Reading b) WITHIN 100
+WHERE a.value = 77 AND b.value = 88
+CONTEXT high;
+)");
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Engine engine(std::move(plan).value(), EngineOptions());
+  EventBatch outputs;
+  engine.Run(
+      {
+          Reading(1, 77, 0),   // switches high; also the pair's first half
+          Reading(1, 5, 1),    // back to normal: window ends, history gone
+          Reading(1, 88, 2),   // high again (88 > 10); second half
+      },
+      &outputs);
+  // No pair: the partial from t=0 belonged to the closed window.
+  EXPECT_TRUE(outputs.empty());
+
+  // Control: without the interruption the pair completes.
+  auto plan2 = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan2.ok());
+  Engine engine2(std::move(plan2).value(), EngineOptions());
+  EventBatch outputs2;
+  engine2.Run({Reading(1, 77, 0), Reading(1, 88, 2)}, &outputs2);
+  EXPECT_EQ(outputs2.size(), 1u);
+}
+
+// The context-aware engine and the context-independent baseline must derive
+// the same complex events (the optimizations are semantics-preserving).
+TEST_F(EngineTest, ContextAwareMatchesBaselineOnRandomStreams) {
+  CaesarModel model = Parse(kMiniModel);
+  Rng rng(2026);
+  for (int trial = 0; trial < 5; ++trial) {
+    EventBatch input;
+    for (Timestamp t = 0; t < 200; ++t) {
+      for (int64_t seg = 1; seg <= 3; ++seg) {
+        if (rng.Bernoulli(0.7)) {
+          input.push_back(Reading(seg, rng.Uniform(0, 30), t));
+        }
+      }
+    }
+    auto ca_plan = TranslateModel(model, PlanOptions());
+    ASSERT_TRUE(ca_plan.ok());
+    auto ci_plan = BaselinePlan(model);
+    ASSERT_TRUE(ci_plan.ok());
+    Engine ca(std::move(ca_plan).value(), EngineOptions());
+    Engine ci(std::move(ci_plan).value(), EngineOptions());
+    EventBatch ca_out, ci_out;
+    ca.Run(input, &ca_out);
+    ci.Run(input, &ci_out);
+    EXPECT_EQ(Canonical(ca_out), Canonical(ci_out)) << "trial " << trial;
+  }
+}
+
+// Push-down must not change results, only cost. Uses a SEQ workload so the
+// suspended pattern work dominates the context-window probe overhead.
+TEST_F(EngineTest, PushDownPreservesSemantics) {
+  CaesarModel model = Parse(R"(
+CONTEXTS normal, high DEFAULT normal;
+PARTITION BY seg;
+
+QUERY go_high
+SWITCH CONTEXT high PATTERN Reading r WHERE r.value > 10 CONTEXT normal;
+QUERY go_normal
+SWITCH CONTEXT normal PATTERN Reading r WHERE r.value <= 10 CONTEXT high;
+
+QUERY pair
+DERIVE Pair(a.sec AS first_sec, b.sec AS second_sec)
+PATTERN SEQ(Reading a, Reading b) WITHIN 50
+WHERE a.value = b.value
+CONTEXT high;
+)");
+  Rng rng(7);
+  EventBatch input;
+  for (Timestamp t = 0; t < 300; ++t) {
+    for (int e = 0; e < 5; ++e) {
+      input.push_back(Reading(1, rng.Uniform(0, 30), t));
+    }
+  }
+  PlanOptions pushed;
+  pushed.push_down_context_windows = true;
+  PlanOptions unpushed;
+  unpushed.push_down_context_windows = false;
+
+  auto plan_a = TranslateModel(model, pushed);
+  auto plan_b = TranslateModel(model, unpushed);
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  Engine a(std::move(plan_a).value(), EngineOptions());
+  Engine b(std::move(plan_b).value(), EngineOptions());
+  EventBatch out_a, out_b;
+  RunStats stats_a = a.Run(input, &out_a);
+  RunStats stats_b = b.Run(input, &out_b);
+  EXPECT_EQ(Canonical(out_a), Canonical(out_b));
+  // Push-down strictly reduces operator work.
+  EXPECT_LT(stats_a.ops_executed, stats_b.ops_executed);
+  EXPECT_GT(stats_a.suspended_chains, 0);
+  EXPECT_EQ(stats_b.suspended_chains, 0);
+}
+
+TEST_F(EngineTest, MultiThreadedMatchesSerial) {
+  CaesarModel model = Parse(kMiniModel);
+  Rng rng(11);
+  EventBatch input;
+  for (Timestamp t = 0; t < 100; ++t) {
+    for (int64_t seg = 1; seg <= 8; ++seg) {
+      input.push_back(Reading(seg, rng.Uniform(0, 30), t));
+    }
+  }
+  auto plan_a = TranslateModel(model, PlanOptions());
+  auto plan_b = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  EngineOptions serial;
+  EngineOptions parallel;
+  parallel.num_threads = 4;
+  Engine a(std::move(plan_a).value(), serial);
+  Engine b(std::move(plan_b).value(), parallel);
+  EventBatch out_a, out_b;
+  a.Run(input, &out_a);
+  b.Run(input, &out_b);
+  EXPECT_EQ(Canonical(out_a), Canonical(out_b));
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,188 @@
+// Property tests for the expression subsystem:
+//  - print/parse round-trip is a fixpoint for random well-formed ASTs;
+//  - the compiled evaluator agrees with a direct reference interpretation
+//    of the AST;
+//  - the lexer/parser/query-parser never crash on random garbage (errors
+//    come back as Status, not aborts).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "event/event.h"
+#include "expr/compiled.h"
+#include "expr/expr.h"
+#include "expr/parser.h"
+#include "query/parser.h"
+
+namespace caesar {
+namespace {
+
+// Generates random well-typed expressions over the schema
+// E(a:int, b:int, x:double).
+class ExprGenerator {
+ public:
+  explicit ExprGenerator(Rng* rng) : rng_(rng) {}
+
+  // kind: 0 = numeric, 1 = boolean.
+  ExprPtr Generate(int kind, int depth) {
+    if (kind == 1) {
+      // Boolean: comparison or logical combination.
+      if (depth <= 0 || rng_->Bernoulli(0.5)) {
+        BinaryOp op = kComparisons[rng_->Uniform(0, 5)];
+        return MakeBinary(op, Generate(0, depth - 1), Generate(0, depth - 1));
+      }
+      BinaryOp op = rng_->Bernoulli(0.5) ? BinaryOp::kAnd : BinaryOp::kOr;
+      return MakeBinary(op, Generate(1, depth - 1), Generate(1, depth - 1));
+    }
+    // Numeric.
+    if (depth <= 0 || rng_->Bernoulli(0.4)) {
+      switch (rng_->Uniform(0, 3)) {
+        case 0:
+          return MakeConstant(rng_->Uniform(0, 9));
+        case 1:
+          return MakeAttrRef("e", "a");
+        case 2:
+          return MakeAttrRef("e", "b");
+        default:
+          return MakeConstant(rng_->Uniform(1, 9));  // avoid 0 divisors a bit
+      }
+    }
+    BinaryOp op = kArithmetic[rng_->Uniform(0, 3)];
+    return MakeBinary(op, Generate(0, depth - 1), Generate(0, depth - 1));
+  }
+
+ private:
+  static constexpr BinaryOp kComparisons[] = {BinaryOp::kEq, BinaryOp::kNe,
+                                              BinaryOp::kLt, BinaryOp::kLe,
+                                              BinaryOp::kGt, BinaryOp::kGe};
+  static constexpr BinaryOp kArithmetic[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                             BinaryOp::kMul, BinaryOp::kDiv};
+  Rng* rng_;
+};
+
+// Direct reference interpretation of the AST (int-only domain mirroring the
+// engine's semantics: null on division by zero, comparisons on nulls are
+// false, short-circuit logic).
+std::optional<int64_t> Reference(const Expr& expr, int64_t a, int64_t b) {
+  switch (expr.kind()) {
+    case Expr::Kind::kConstant: {
+      const Value& value = static_cast<const ConstantExpr&>(expr).value();
+      return value.AsInt();
+    }
+    case Expr::Kind::kAttrRef: {
+      const auto& ref = static_cast<const AttrRefExpr&>(expr);
+      return ref.attribute() == "a" ? a : b;
+    }
+    case Expr::Kind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      if (binary.op() == BinaryOp::kAnd) {
+        auto left = Reference(*binary.left(), a, b);
+        if (!left.has_value() || *left == 0) return 0;
+        return Reference(*binary.right(), a, b);
+      }
+      if (binary.op() == BinaryOp::kOr) {
+        auto left = Reference(*binary.left(), a, b);
+        if (left.has_value() && *left != 0) return 1;
+        return Reference(*binary.right(), a, b);
+      }
+      auto left = Reference(*binary.left(), a, b);
+      auto right = Reference(*binary.right(), a, b);
+      if (!left.has_value() || !right.has_value()) return std::nullopt;
+      switch (binary.op()) {
+        case BinaryOp::kAdd: return *left + *right;
+        case BinaryOp::kSub: return *left - *right;
+        case BinaryOp::kMul: return *left * *right;
+        case BinaryOp::kDiv:
+          if (*right == 0) return std::nullopt;
+          return *left / *right;
+        case BinaryOp::kEq: return *left == *right ? 1 : 0;
+        case BinaryOp::kNe: return *left != *right ? 1 : 0;
+        case BinaryOp::kLt: return *left < *right ? 1 : 0;
+        case BinaryOp::kLe: return *left <= *right ? 1 : 0;
+        case BinaryOp::kGt: return *left > *right ? 1 : 0;
+        case BinaryOp::kGe: return *left >= *right ? 1 : 0;
+        default: return std::nullopt;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+class ExprPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  ExprPropertyTest() {
+    type_ = registry_.RegisterOrGet(
+        "E", {{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+    bindings_.Add({"e", type_, &registry_.type(type_).schema});
+  }
+
+  TypeRegistry registry_;
+  TypeId type_;
+  BindingSet bindings_;
+};
+
+TEST_P(ExprPropertyTest, PrintParseRoundTripIsFixpoint) {
+  Rng rng(GetParam());
+  ExprGenerator generator(&rng);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprPtr expr = generator.Generate(trial % 2, 3);
+    std::string printed = expr->ToString();
+    auto reparsed = ParseExpr(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << ": " << reparsed.status();
+    EXPECT_EQ(reparsed.value()->ToString(), printed);
+  }
+}
+
+TEST_P(ExprPropertyTest, CompiledEvalMatchesReference) {
+  Rng rng(GetParam() + 500);
+  ExprGenerator generator(&rng);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprPtr expr = generator.Generate(trial % 2, 3);
+    auto compiled = Compile(expr, bindings_);
+    ASSERT_TRUE(compiled.ok()) << expr->ToString() << ": "
+                               << compiled.status();
+    for (int sample = 0; sample < 10; ++sample) {
+      int64_t a = rng.Uniform(-9, 9);
+      int64_t b = rng.Uniform(-9, 9);
+      EventPtr event = MakeEvent(type_, 0, {Value(a), Value(b)});
+      Value actual = compiled.value()->Eval(&event);
+      std::optional<int64_t> expected = Reference(*expr, a, b);
+      if (!expected.has_value()) {
+        EXPECT_TRUE(actual.is_null())
+            << expr->ToString() << " a=" << a << " b=" << b;
+      } else {
+        ASSERT_EQ(actual.type(), ValueType::kInt)
+            << expr->ToString() << " a=" << a << " b=" << b;
+        EXPECT_EQ(actual.AsInt(), *expected)
+            << expr->ToString() << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(ExprPropertyTest, ParsersNeverCrashOnGarbage) {
+  Rng rng(GetParam() + 9000);
+  const std::string alphabet =
+      "abcXY01279 .,;()<>=!+-*/\"'\n\tPATTERN WHERE SEQ NOT CONTEXT DERIVE";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    int length = static_cast<int>(rng.Uniform(0, 60));
+    for (int i = 0; i < length; ++i) {
+      garbage += alphabet[rng.Uniform(0, alphabet.size() - 1)];
+    }
+    // Any of these may fail, but none may crash.
+    (void)ParseExpr(garbage);
+    (void)ParseQuery(garbage);
+    TypeRegistry registry;
+    (void)ParseModel(garbage, &registry);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace caesar

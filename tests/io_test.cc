@@ -1,0 +1,140 @@
+// Tests for the IO module: CSV event stream round-tripping, the k-way
+// time-ordered merge, and DOT export of models and plans.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/csv.h"
+#include "io/dot.h"
+#include "plan/translator.h"
+#include "query/parser.h"
+
+namespace caesar {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  CsvTest() {
+    type_ = registry_.RegisterOrGet("Order", {{"id", ValueType::kInt},
+                                              {"price", ValueType::kDouble},
+                                              {"note", ValueType::kString}});
+  }
+
+  EventPtr Order(int64_t id, double price, const char* note, Timestamp t) {
+    return MakeEvent(type_, t, {Value(id), Value(price), Value(note)});
+  }
+
+  TypeRegistry registry_;
+  TypeId type_;
+};
+
+TEST_F(CsvTest, RoundTripPreservesEverything) {
+  EventBatch events = {
+      Order(1, 9.5, "plain", 0),
+      Order(2, 0.125, "with, comma", 1),
+      Order(3, -2.75, "with \"quotes\"", 2),
+      Order(4, 1e-9, "multi\nline", 5),
+  };
+  auto csv = WriteEventsCsv(events, registry_);
+  ASSERT_TRUE(csv.ok()) << csv.status();
+
+  TypeRegistry fresh;
+  auto parsed = ReadEventsCsv(csv.value(), &fresh);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed.value().size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i]->time(), events[i]->time());
+    EXPECT_EQ(parsed.value()[i]->values(), events[i]->values()) << i;
+  }
+  // The type was registered in the fresh registry with its schema.
+  TypeId id = fresh.Lookup("Order");
+  ASSERT_NE(id, kInvalidTypeId);
+  EXPECT_EQ(fresh.type(id).schema.IndexOf("price"), 1);
+  EXPECT_EQ(fresh.type(id).schema.attribute(2).type, ValueType::kString);
+}
+
+TEST_F(CsvTest, RejectsMixedTypesAndEmptyBatches) {
+  TypeId other = registry_.RegisterOrGet("Other", {{"x", ValueType::kInt}});
+  EventBatch mixed = {Order(1, 1.0, "a", 0),
+                      MakeEvent(other, 1, {Value(int64_t{1})})};
+  EXPECT_FALSE(WriteEventsCsv(mixed, registry_).ok());
+  EXPECT_FALSE(WriteEventsCsv({}, registry_).ok());
+}
+
+TEST_F(CsvTest, ParseErrors) {
+  TypeRegistry fresh;
+  EXPECT_FALSE(ReadEventsCsv("", &fresh).ok());
+  EXPECT_FALSE(ReadEventsCsv("# type: X\njunk\n", &fresh).ok());
+  EXPECT_FALSE(
+      ReadEventsCsv("# type: X\n# attrs: a:int\ntime,a\n1,2,3\n", &fresh)
+          .ok());  // wrong cell count
+  EXPECT_FALSE(
+      ReadEventsCsv("# type: X\n# attrs: a:blob\ntime,a\n", &fresh).ok());
+}
+
+TEST_F(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/caesar_csv_test.csv";
+  EventBatch events = {Order(7, 3.5, "file", 42)};
+  ASSERT_TRUE(WriteEventsCsvFile(path, events, registry_).ok());
+  TypeRegistry fresh;
+  auto parsed = ReadEventsCsvFile(path, &fresh);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0]->value(0).AsInt(), 7);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadEventsCsvFile(path, &fresh).ok());  // gone
+}
+
+TEST_F(CsvTest, MergeByTimeIsStableAndOrdered) {
+  EventBatch a = {Order(1, 1, "a", 0), Order(2, 1, "a", 5),
+                  Order(3, 1, "a", 9)};
+  EventBatch b = {Order(4, 1, "b", 1), Order(5, 1, "b", 5)};
+  EventBatch c = {Order(6, 1, "c", 5)};
+  EventBatch merged = MergeByTime({a, b, c});
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_TRUE(IsTimeOrdered(merged));
+  // Stability at time 5: batch order a, b, c.
+  EXPECT_EQ(merged[2]->value(0).AsInt(), 2);
+  EXPECT_EQ(merged[3]->value(0).AsInt(), 5);
+  EXPECT_EQ(merged[4]->value(0).AsInt(), 6);
+}
+
+TEST(DotTest, ModelExportContainsContextsAndTransitions) {
+  TypeRegistry registry;
+  registry.RegisterOrGet("E", {{"x", ValueType::kInt}});
+  auto model = ParseModel(R"(
+CONTEXTS clear, busy DEFAULT clear;
+QUERY go SWITCH CONTEXT busy PATTERN E e WHERE e.x > 1 CONTEXT clear;
+QUERY stop TERMINATE CONTEXT busy PATTERN E e CONTEXT busy;
+QUERY work DERIVE W(e.x) PATTERN E e CONTEXT busy;
+)",
+                          &registry);
+  ASSERT_TRUE(model.ok()) << model.status();
+  std::string dot = ModelToDot(model.value());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"clear\""), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // default ctx
+  EXPECT_NE(dot.find("\"clear\" -> \"busy\""), std::string::npos);
+  EXPECT_NE(dot.find("work"), std::string::npos);  // workload listed
+}
+
+TEST(DotTest, PlanExportContainsChains) {
+  TypeRegistry registry;
+  registry.RegisterOrGet("E", {{"x", ValueType::kInt}});
+  auto model = ParseModel(R"(
+CONTEXTS only;
+QUERY work DERIVE W(e.x) PATTERN E e WHERE e.x > 1;
+)",
+                          &registry);
+  ASSERT_TRUE(model.ok());
+  auto plan = TranslateModel(model.value(), PlanOptions());
+  ASSERT_TRUE(plan.ok());
+  std::string dot = PlanToDot(plan.value());
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("Pattern"), std::string::npos);
+  EXPECT_NE(dot.find("ContextWindow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caesar

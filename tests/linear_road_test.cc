@@ -1,0 +1,183 @@
+// Tests for the Linear Road workload: generator invariants and end-to-end
+// behaviour of the traffic model (contexts emerge from the data; tolls,
+// zero tolls and accident warnings are derived in the right contexts).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+#include "optimizer/optimizer.h"
+#include "plan/translator.h"
+#include "runtime/engine.h"
+#include "workloads/linear_road.h"
+
+namespace caesar {
+namespace {
+
+LinearRoadConfig SmallConfig() {
+  LinearRoadConfig config;
+  config.num_xways = 1;
+  config.num_segments = 4;
+  config.duration = 1800;
+  config.cars_per_segment = 4;
+  config.congestion_episodes_per_segment = 1.0;
+  config.accident_episodes_per_segment = 0.5;
+  config.seed = 7;
+  return config;
+}
+
+TEST(LinearRoadGeneratorTest, StreamIsTimeOrderedAndInRange) {
+  TypeRegistry registry;
+  LinearRoadConfig config = SmallConfig();
+  EventBatch stream = GenerateLinearRoadStream(config, &registry);
+  ASSERT_GT(stream.size(), 100u);
+  EXPECT_TRUE(IsTimeOrdered(stream));
+  TypeId pr = registry.Lookup("PositionReport");
+  for (const EventPtr& event : stream) {
+    EXPECT_EQ(event->type_id(), pr);
+    EXPECT_GE(event->time(), 0);
+    EXPECT_LT(event->time(), config.duration);
+    EXPECT_GE(event->value(5).AsInt(), 0);                     // seg
+    EXPECT_LT(event->value(5).AsInt(), config.num_segments);   // seg
+    EXPECT_EQ(event->value(7).AsInt(), event->time());         // sec == time
+  }
+}
+
+TEST(LinearRoadGeneratorTest, Deterministic) {
+  TypeRegistry registry;
+  EventBatch a = GenerateLinearRoadStream(SmallConfig(), &registry);
+  EventBatch b = GenerateLinearRoadStream(SmallConfig(), &registry);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->values(), b[i]->values());
+  }
+}
+
+TEST(LinearRoadGeneratorTest, CarsReportEveryInterval) {
+  TypeRegistry registry;
+  LinearRoadConfig config = SmallConfig();
+  EventBatch stream = GenerateLinearRoadStream(config, &registry);
+  // For every vid, consecutive reports are spaced by the report interval.
+  std::map<int64_t, Timestamp> last_report;
+  int checked = 0;
+  for (const EventPtr& event : stream) {
+    int64_t vid = event->value(0).AsInt();
+    auto it = last_report.find(vid);
+    if (it != last_report.end()) {
+      EXPECT_EQ(event->time() - it->second, config.report_interval)
+          << "vid " << vid;
+      ++checked;
+    }
+    last_report[vid] = event->time();
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(LinearRoadGeneratorTest, ContainsAccidentsAndCongestion) {
+  TypeRegistry registry;
+  LinearRoadConfig config = SmallConfig();
+  config.accident_episodes_per_segment = 1.0;
+  EventBatch stream = GenerateLinearRoadStream(config, &registry);
+  bool any_stopped = false;
+  bool any_slow = false;
+  bool any_fast = false;
+  for (const EventPtr& event : stream) {
+    int64_t speed = event->value(1).AsInt();
+    if (speed == 0) any_stopped = true;
+    if (speed > 0 && speed < 40) any_slow = true;
+    if (speed >= 45) any_fast = true;
+  }
+  EXPECT_TRUE(any_stopped);
+  EXPECT_TRUE(any_slow);
+  EXPECT_TRUE(any_fast);
+}
+
+class LinearRoadModelTest : public ::testing::Test {
+ protected:
+  RunStats RunModel(const LinearRoadConfig& stream_config,
+                    bool context_aware,
+                    std::map<std::string, int64_t>* derived) {
+    TypeRegistry registry;
+    EventBatch stream = GenerateLinearRoadStream(stream_config, &registry);
+    auto model = MakeLinearRoadModel(LinearRoadModelConfig(), &registry);
+    CAESAR_CHECK_OK(model.status());
+    Result<ExecutablePlan> plan =
+        context_aware ? OptimizeModel(model.value(), OptimizerOptions())
+                      : BaselinePlan(model.value());
+    CAESAR_CHECK_OK(plan.status());
+    Engine engine(std::move(plan).value(), EngineOptions());
+    RunStats stats = engine.Run(stream);
+    if (derived != nullptr) *derived = stats.derived_by_type;
+    return stats;
+  }
+};
+
+TEST_F(LinearRoadModelTest, DerivesAllBenchmarkOutputs) {
+  LinearRoadConfig config = SmallConfig();
+  config.accident_episodes_per_segment = 1.0;
+  std::map<std::string, int64_t> derived;
+  RunStats stats = RunModel(config, /*context_aware=*/true, &derived);
+  EXPECT_GT(stats.derived_events, 0);
+  // All benchmark output kinds appear.
+  EXPECT_GT(derived["StoppedCar"], 0);
+  EXPECT_GT(derived["Accident"], 0);
+  EXPECT_GT(derived["AccidentWarning"], 0);
+  EXPECT_GT(derived["ZeroToll"], 0);
+  EXPECT_GT(derived["NewTravelingCar"], 0);
+  EXPECT_GT(derived["TollNotification"], 0);
+  // Suspension happened (context windows cover only part of the stream).
+  EXPECT_GT(stats.suspended_chains, 0);
+}
+
+TEST_F(LinearRoadModelTest, TollOnlyDuringCongestionWarningsOnlyDuringAccident)
+{
+  // Tolls require congestion; with no congestion episodes there are no toll
+  // notifications, and with no accidents there are no warnings.
+  LinearRoadConfig config = SmallConfig();
+  config.congestion_episodes_per_segment = 0.0;
+  config.accident_episodes_per_segment = 0.0;
+  std::map<std::string, int64_t> derived;
+  RunModel(config, /*context_aware=*/true, &derived);
+  EXPECT_EQ(derived["TollNotification"], 0);
+  EXPECT_EQ(derived["AccidentWarning"], 0);
+  EXPECT_EQ(derived["Accident"], 0);
+  EXPECT_GT(derived["ZeroToll"], 0);  // clear roads: zero toll
+}
+
+TEST_F(LinearRoadModelTest, ContextAwareMatchesBaselineOutputs) {
+  LinearRoadConfig config = SmallConfig();
+  config.num_segments = 2;
+  config.duration = 1200;
+  config.accident_episodes_per_segment = 1.0;
+  std::map<std::string, int64_t> ca_derived, ci_derived;
+  RunModel(config, /*context_aware=*/true, &ca_derived);
+  RunModel(config, /*context_aware=*/false, &ci_derived);
+  EXPECT_EQ(ca_derived, ci_derived);
+}
+
+TEST_F(LinearRoadModelTest, ContextAwareDoesLessWork) {
+  LinearRoadConfig config = SmallConfig();
+  RunStats ca = RunModel(config, /*context_aware=*/true, nullptr);
+  RunStats ci = RunModel(config, /*context_aware=*/false, nullptr);
+  EXPECT_LT(ca.ops_executed, ci.ops_executed);
+  EXPECT_EQ(ci.suspended_chains, 0);
+}
+
+TEST_F(LinearRoadModelTest, WorkloadReplicationScalesQueries) {
+  TypeRegistry registry;
+  LinearRoadModelConfig config;
+  config.processing_replicas = 3;
+  auto model = MakeLinearRoadModel(config, &registry);
+  ASSERT_TRUE(model.ok()) << model.status();
+  // 5 deriving/helper queries + 4 processing queries per replica.
+  EXPECT_EQ(model.value().num_queries(), 5 + 4 * 3);
+  auto plan = TranslateModel(model.value(), PlanOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().processing.size(), 12u);
+}
+
+}  // namespace
+}  // namespace caesar

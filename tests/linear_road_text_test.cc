@@ -1,0 +1,143 @@
+// Integration test: the complete Linear Road traffic model written in the
+// CAESAR query language (including the AGGREGATE deriving queries) behaves
+// identically to the programmatically built model of
+// workloads/linear_road.cc.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.h"
+#include "optimizer/optimizer.h"
+#include "expr/parser.h"
+#include "query/parser.h"
+#include "runtime/engine.h"
+#include "workloads/linear_road.h"
+
+namespace caesar {
+namespace {
+
+constexpr char kTrafficModelText[] = R"(
+CONTEXTS clear, congestion, accident DEFAULT clear;
+PARTITION BY xway, dir, seg;
+
+QUERY detect_congestion
+SWITCH CONTEXT congestion
+PATTERN AGGREGATE PositionReport p WINDOW 60
+        COMPUTE count() AS cnt, avg(speed) AS spd
+        HAVING cnt >= 20 AND spd < 40
+CONTEXT clear;
+
+QUERY detect_clear
+SWITCH CONTEXT clear
+PATTERN AGGREGATE PositionReport p WINDOW 60
+        COMPUTE count() AS cnt, avg(speed) AS spd
+        HAVING spd >= 45
+CONTEXT congestion;
+
+QUERY detect_accident
+INITIATE CONTEXT accident
+DERIVE Accident(s2.xway AS xway, s2.dir AS dir, s2.seg AS seg,
+                s2.pos AS pos, s2.sec AS sec)
+PATTERN SEQ(StoppedCar s1, StoppedCar s2) WITHIN 90
+WHERE s1.pos = s2.pos AND s1.vid != s2.vid
+CONTEXT clear, congestion;
+
+QUERY detect_clearance
+TERMINATE CONTEXT accident
+PATTERN SEQ(StoppedCar s, PositionReport p) WITHIN 120
+WHERE p.vid = s.vid AND p.speed > 0
+CONTEXT accident;
+
+QUERY new_traveling_car
+DERIVE NewTravelingCar(p2.vid AS vid, p2.xway AS xway, p2.dir AS dir,
+                       p2.seg AS seg, p2.lane AS lane, p2.pos AS pos,
+                       p2.sec AS sec)
+PATTERN SEQ(NOT PositionReport p1, PositionReport p2) WITHIN 60
+WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4
+CONTEXT congestion;
+
+QUERY toll_notification
+DERIVE TollNotification(p.vid AS vid, p.seg AS seg, p.sec AS sec, 5 AS toll)
+PATTERN NewTravelingCar p
+CONTEXT congestion;
+
+QUERY zero_toll
+DERIVE ZeroToll(p2.vid AS vid, p2.seg AS seg, p2.sec AS sec, 0 AS toll)
+PATTERN SEQ(NOT PositionReport p1, PositionReport p2) WITHIN 60
+WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4
+CONTEXT clear, accident;
+
+QUERY accident_warning
+DERIVE AccidentWarning(p.vid AS vid, p.seg AS seg, p.sec AS sec)
+PATTERN PositionReport p
+WHERE p.lane != 4
+CONTEXT accident;
+)";
+
+// The text model cannot declare the StoppedCar helper (derivation_helper is
+// programmatic-only), so it is appended after parsing.
+Query StoppedCarHelper() {
+  Query query;
+  query.name = "detect_stopped_car";
+  query.derivation_helper = true;
+  DeriveSpec derive;
+  derive.event_type = "StoppedCar";
+  derive.args = {MakeAttrRef("b", "vid"), MakeAttrRef("b", "xway"),
+                 MakeAttrRef("b", "dir"), MakeAttrRef("b", "seg"),
+                 MakeAttrRef("b", "pos"), MakeAttrRef("b", "sec")};
+  derive.attr_names = {"vid", "xway", "dir", "seg", "pos", "sec"};
+  query.derive = std::move(derive);
+  PatternSpec pattern;
+  pattern.kind = PatternSpec::Kind::kSeq;
+  pattern.items = {{"PositionReport", "a", false},
+                   {"PositionReport", "b", false}};
+  pattern.within = 60;
+  query.pattern = std::move(pattern);
+  auto where = ParseExpr(
+      "a.vid = b.vid AND a.speed = 0 AND b.speed = 0 AND a.pos = b.pos "
+      "AND a.sec + 30 = b.sec");
+  CAESAR_CHECK_OK(where.status());
+  query.where = std::move(where).value();
+  query.contexts = {"clear", "congestion", "accident"};
+  return query;
+}
+
+TEST(LinearRoadTextModelTest, TextModelMatchesProgrammaticModel) {
+  LinearRoadConfig config;
+  config.num_segments = 4;
+  config.duration = 1500;
+  config.congestion_episodes_per_segment = 1.0;
+  config.accident_episodes_per_segment = 1.0;
+  config.seed = 13;
+
+  auto run = [&](bool text_model) {
+    TypeRegistry registry;
+    EventBatch stream = GenerateLinearRoadStream(config, &registry);
+    Result<CaesarModel> model = [&]() -> Result<CaesarModel> {
+      if (!text_model) {
+        return MakeLinearRoadModel(LinearRoadModelConfig(), &registry);
+      }
+      CAESAR_ASSIGN_OR_RETURN(CaesarModel parsed,
+                              ParseModel(kTrafficModelText, &registry));
+      CAESAR_RETURN_IF_ERROR(parsed.AddQuery(StoppedCarHelper()).status());
+      CAESAR_RETURN_IF_ERROR(parsed.Normalize());
+      return parsed;
+    }();
+    CAESAR_CHECK_OK(model.status());
+    auto plan = OptimizeModel(model.value(), OptimizerOptions());
+    CAESAR_CHECK_OK(plan.status());
+    Engine engine(std::move(plan).value(), EngineOptions());
+    RunStats stats = engine.Run(stream);
+    return stats.derived_by_type;
+  };
+
+  std::map<std::string, int64_t> programmatic = run(false);
+  std::map<std::string, int64_t> text = run(true);
+  EXPECT_EQ(programmatic, text);
+  EXPECT_GT(programmatic.at("TollNotification"), 0);
+  EXPECT_GT(programmatic.at("AccidentWarning"), 0);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,258 @@
+// Tests for the synthetic context-window workload and the PAM activity
+// workload, including the sharing experiments' correctness backbone:
+// grouped (shared) execution of overlapping windows derives the same event
+// set as non-shared execution, with less work.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/window_grouping.h"
+#include "plan/translator.h"
+#include "runtime/engine.h"
+#include "workloads/pamap.h"
+#include "workloads/synthetic.h"
+
+namespace caesar {
+namespace {
+
+// --- Synthetic workload -------------------------------------------------
+
+TEST(SyntheticLayoutTest, LayOutWindowsOverlap) {
+  auto windows = LayOutWindows(3, 100, 40, 50);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].start, 50);
+  EXPECT_EQ(windows[0].end, 150);
+  EXPECT_EQ(windows[1].start, 110);  // 60 ticks later: 40 ticks of overlap
+  EXPECT_EQ(windows[2].start, 170);
+}
+
+TEST(SyntheticLayoutTest, PlaceWindowsNonOverlapping) {
+  for (int placement : {-1, 0, 1}) {
+    auto windows = PlaceWindows(5, 60, 1000, placement);
+    ASSERT_EQ(windows.size(), 5u);
+    for (size_t i = 1; i < windows.size(); ++i) {
+      EXPECT_GE(windows[i].start, windows[i - 1].end);
+    }
+  }
+  // Skewed placements cluster as advertised.
+  auto early = PlaceWindows(3, 50, 1000, -1);
+  auto late = PlaceWindows(3, 50, 1000, 1);
+  EXPECT_LT(early.back().end, 600);
+  EXPECT_GT(late.front().start, 500);
+}
+
+TEST(SyntheticLayoutTest, WindowCoverage) {
+  SyntheticConfig config;
+  config.duration = 1000;
+  config.windows = {{0, 300}, {200, 500}, {800, 1200}};
+  // Union: [0,500) + [800,1000) = 700.
+  EXPECT_NEAR(WindowCoverage(config), 0.7, 1e-9);
+}
+
+TEST(SyntheticStreamTest, ShapeAndDeterminism) {
+  TypeRegistry registry;
+  SyntheticConfig config;
+  config.duration = 100;
+  config.num_partitions = 2;
+  config.events_per_tick = 3;
+  EventBatch stream = GenerateSyntheticStream(config, &registry);
+  EXPECT_EQ(stream.size(), 600u);
+  EXPECT_TRUE(IsTimeOrdered(stream));
+  EventBatch again = GenerateSyntheticStream(config, &registry);
+  ASSERT_EQ(again.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i]->values(), again[i]->values());
+  }
+}
+
+class SyntheticModelTest : public ::testing::Test {
+ protected:
+  static std::set<std::string> RunPlan(Result<ExecutablePlan> plan,
+                                       const EventBatch& stream,
+                                       const TypeRegistry& registry,
+                                       RunStats* stats) {
+    CAESAR_CHECK_OK(plan.status());
+    Engine engine(std::move(plan).value(), EngineOptions());
+    EventBatch outputs;
+    *stats = engine.Run(stream, &outputs);
+    std::set<std::string> lines;
+    for (const EventPtr& event : outputs) {
+      lines.insert(event->ToString(registry));
+    }
+    return lines;
+  }
+};
+
+TEST_F(SyntheticModelTest, WindowsActivateOnSchedule) {
+  TypeRegistry registry;
+  SyntheticConfig config;
+  config.duration = 400;
+  config.windows = {{100, 200}};
+  config.queries_per_window = 1;
+  EventBatch stream = GenerateSyntheticStream(config, &registry);
+  auto model = MakeSyntheticModel(config, &registry);
+  ASSERT_TRUE(model.ok()) << model.status();
+  auto plan = TranslateModel(model.value(), PlanOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Engine engine(std::move(plan).value(), EngineOptions());
+  EventBatch outputs;
+  engine.Run(stream, &outputs);
+  ASSERT_GT(outputs.size(), 0u);
+  for (const EventPtr& event : outputs) {
+    // Matches only inside the window.
+    EXPECT_GE(event->start_time(), 100);
+    EXPECT_LT(event->end_time(), 200);
+  }
+}
+
+TEST_F(SyntheticModelTest, SharedExecutionMatchesNonSharedWithLessWork) {
+  TypeRegistry registry;
+  SyntheticConfig config;
+  config.duration = 900;
+  config.windows = LayOutWindows(4, 200, 100, 50);
+  config.queries_per_window = 3;
+  config.assignment = SyntheticConfig::QueryAssignment::kPerWindowCopies;
+  EventBatch stream = GenerateSyntheticStream(config, &registry);
+  auto model = MakeSyntheticModel(config, &registry);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  OptimizerOptions non_shared;
+  non_shared.share_overlapping = false;
+  OptimizerOptions shared;
+  shared.share_overlapping = true;
+
+  RunStats stats_plain, stats_shared;
+  std::set<std::string> out_plain =
+      RunPlan(OptimizeModel(model.value(), non_shared), stream, registry,
+              &stats_plain);
+  std::set<std::string> out_shared =
+      RunPlan(OptimizeModel(model.value(), shared), stream, registry,
+              &stats_shared);
+  EXPECT_EQ(out_plain, out_shared);
+  EXPECT_GT(out_plain.size(), 0u);
+  EXPECT_LT(stats_shared.ops_executed, stats_plain.ops_executed);
+}
+
+TEST_F(SyntheticModelTest, GroupingEffectGrowsWithOverlapDegree) {
+  // More overlapping windows -> bigger sharing gain (Fig. 14(a) mechanism).
+  TypeRegistry registry;
+  double gain_small, gain_large;
+  for (int count : {2, 6}) {
+    SyntheticConfig config;
+    config.windows = LayOutWindows(count, 150, 100, 50);
+    config.duration = config.windows.back().end + 100;
+    config.queries_per_window = 3;
+    EventBatch stream = GenerateSyntheticStream(config, &registry);
+    auto model = MakeSyntheticModel(config, &registry);
+    ASSERT_TRUE(model.ok()) << model.status();
+    OptimizerOptions non_shared;
+    non_shared.share_overlapping = false;
+    RunStats stats_plain, stats_shared;
+    RunPlan(OptimizeModel(model.value(), non_shared), stream, registry,
+            &stats_plain);
+    RunPlan(OptimizeModel(model.value(), OptimizerOptions()), stream,
+            registry, &stats_shared);
+    double gain = static_cast<double>(stats_plain.ops_executed) /
+                  static_cast<double>(stats_shared.ops_executed);
+    (count == 2 ? gain_small : gain_large) = gain;
+  }
+  EXPECT_GT(gain_large, gain_small);
+}
+
+TEST_F(SyntheticModelTest, SuspensionGainTracksWindowCoverage) {
+  // Less stream covered by windows -> bigger CA-over-CI gain (Fig. 12(c)/(d)
+  // mechanism).
+  TypeRegistry registry;
+  double gain_low_coverage = 0.0, gain_high_coverage = 0.0;
+  for (bool high_coverage : {false, true}) {
+    SyntheticConfig config;
+    config.duration = 1000;
+    Timestamp length = high_coverage ? 400 : 50;
+    config.windows = PlaceWindows(2, length, config.duration, 0);
+    config.queries_per_window = 4;
+    EventBatch stream = GenerateSyntheticStream(config, &registry);
+    auto model = MakeSyntheticModel(config, &registry);
+    ASSERT_TRUE(model.ok()) << model.status();
+    RunStats ca, ci;
+    std::set<std::string> out_ca = RunPlan(
+        OptimizeModel(model.value(), OptimizerOptions()), stream, registry,
+        &ca);
+    std::set<std::string> out_ci =
+        RunPlan(BaselinePlan(model.value()), stream, registry, &ci);
+    EXPECT_EQ(out_ca, out_ci);
+    double gain = static_cast<double>(ci.ops_executed) /
+                  static_cast<double>(ca.ops_executed);
+    (high_coverage ? gain_high_coverage : gain_low_coverage) = gain;
+  }
+  EXPECT_GT(gain_low_coverage, gain_high_coverage);
+  EXPECT_GT(gain_high_coverage, 0.9);
+}
+
+// --- PAM workload ---------------------------------------------------------
+
+TEST(PamapTest, StreamShape) {
+  TypeRegistry registry;
+  PamapConfig config;
+  config.num_subjects = 4;
+  config.duration = 600;
+  EventBatch stream = GeneratePamapStream(config, &registry);
+  ASSERT_GT(stream.size(), 100u);
+  EXPECT_TRUE(IsTimeOrdered(stream));
+  std::set<int64_t> subjects;
+  for (const EventPtr& event : stream) {
+    subjects.insert(event->value(0).AsInt());
+    int64_t hr = event->value(1).AsInt();
+    EXPECT_GE(hr, 58);
+    EXPECT_LE(hr, 165);
+  }
+  EXPECT_EQ(subjects.size(), 4u);
+}
+
+TEST(PamapTest, ModelDerivesSpikesOnlyWhileActive) {
+  TypeRegistry registry;
+  PamapConfig config;
+  config.num_subjects = 6;
+  config.duration = 1500;
+  config.exercise_phases_per_subject = 2.0;
+  config.exercise_duration = 300;
+  EventBatch stream = GeneratePamapStream(config, &registry);
+  auto model = MakePamapModel(PamapModelConfig(), &registry);
+  ASSERT_TRUE(model.ok()) << model.status();
+  auto plan = OptimizeModel(model.value(), OptimizerOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Engine engine(std::move(plan).value(), EngineOptions());
+  RunStats stats = engine.Run(stream);
+  EXPECT_GT(stats.derived_by_type["HrSpike_0"], 0);
+  EXPECT_GT(stats.suspended_chains, 0);
+}
+
+TEST(PamapTest, ContextAwareMatchesBaseline) {
+  TypeRegistry registry;
+  PamapConfig config;
+  config.num_subjects = 4;
+  config.duration = 1200;
+  EventBatch stream = GeneratePamapStream(config, &registry);
+  auto model = MakePamapModel(PamapModelConfig(), &registry);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  auto run = [&](Result<ExecutablePlan> plan) {
+    CAESAR_CHECK_OK(plan.status());
+    Engine engine(std::move(plan).value(), EngineOptions());
+    EventBatch outputs;
+    engine.Run(stream, &outputs);
+    std::multiset<std::string> lines;
+    for (const EventPtr& event : outputs) {
+      lines.insert(event->ToString(registry));
+    }
+    return lines;
+  };
+  EXPECT_EQ(run(OptimizeModel(model.value(), OptimizerOptions())),
+            run(BaselinePlan(model.value())));
+}
+
+}  // namespace
+}  // namespace caesar
