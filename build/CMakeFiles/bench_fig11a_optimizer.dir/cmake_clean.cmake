@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_optimizer.dir/bench/bench_fig11a_optimizer.cc.o"
+  "CMakeFiles/bench_fig11a_optimizer.dir/bench/bench_fig11a_optimizer.cc.o.d"
+  "bench/bench_fig11a_optimizer"
+  "bench/bench_fig11a_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

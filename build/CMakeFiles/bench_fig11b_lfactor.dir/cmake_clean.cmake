@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_lfactor.dir/bench/bench_fig11b_lfactor.cc.o"
+  "CMakeFiles/bench_fig11b_lfactor.dir/bench/bench_fig11b_lfactor.cc.o.d"
+  "bench/bench_fig11b_lfactor"
+  "bench/bench_fig11b_lfactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_lfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12a_workload.dir/bench/bench_fig12a_workload.cc.o"
+  "CMakeFiles/bench_fig12a_workload.dir/bench/bench_fig12a_workload.cc.o.d"
+  "bench/bench_fig12a_workload"
+  "bench/bench_fig12a_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12a_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

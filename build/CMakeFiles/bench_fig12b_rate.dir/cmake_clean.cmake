@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_rate.dir/bench/bench_fig12b_rate.cc.o"
+  "CMakeFiles/bench_fig12b_rate.dir/bench/bench_fig12b_rate.cc.o.d"
+  "bench/bench_fig12b_rate"
+  "bench/bench_fig12b_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

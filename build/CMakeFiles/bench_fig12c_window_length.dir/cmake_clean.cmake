@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12c_window_length.dir/bench/bench_fig12c_window_length.cc.o"
+  "CMakeFiles/bench_fig12c_window_length.dir/bench/bench_fig12c_window_length.cc.o.d"
+  "bench/bench_fig12c_window_length"
+  "bench/bench_fig12c_window_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12c_window_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12d_window_count.dir/bench/bench_fig12d_window_count.cc.o"
+  "CMakeFiles/bench_fig12d_window_count.dir/bench/bench_fig12d_window_count.cc.o.d"
+  "bench/bench_fig12d_window_count"
+  "bench/bench_fig12d_window_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12d_window_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

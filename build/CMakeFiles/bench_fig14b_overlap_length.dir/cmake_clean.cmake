@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14b_overlap_length.dir/bench/bench_fig14b_overlap_length.cc.o"
+  "CMakeFiles/bench_fig14b_overlap_length.dir/bench/bench_fig14b_overlap_length.cc.o.d"
+  "bench/bench_fig14b_overlap_length"
+  "bench/bench_fig14b_overlap_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14b_overlap_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

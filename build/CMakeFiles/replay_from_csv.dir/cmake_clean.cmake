@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_from_csv.dir/examples/replay_from_csv.cpp.o"
+  "CMakeFiles/replay_from_csv.dir/examples/replay_from_csv.cpp.o.d"
+  "examples/replay_from_csv"
+  "examples/replay_from_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_from_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

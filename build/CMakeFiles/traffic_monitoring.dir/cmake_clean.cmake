@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_monitoring.dir/examples/traffic_monitoring.cpp.o"
+  "CMakeFiles/traffic_monitoring.dir/examples/traffic_monitoring.cpp.o.d"
+  "examples/traffic_monitoring"
+  "examples/traffic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

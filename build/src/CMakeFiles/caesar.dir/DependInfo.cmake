@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/aggregate_op.cc" "src/CMakeFiles/caesar.dir/algebra/aggregate_op.cc.o" "gcc" "src/CMakeFiles/caesar.dir/algebra/aggregate_op.cc.o.d"
+  "/root/repo/src/algebra/basic_ops.cc" "src/CMakeFiles/caesar.dir/algebra/basic_ops.cc.o" "gcc" "src/CMakeFiles/caesar.dir/algebra/basic_ops.cc.o.d"
+  "/root/repo/src/algebra/context_ops.cc" "src/CMakeFiles/caesar.dir/algebra/context_ops.cc.o" "gcc" "src/CMakeFiles/caesar.dir/algebra/context_ops.cc.o.d"
+  "/root/repo/src/algebra/operator.cc" "src/CMakeFiles/caesar.dir/algebra/operator.cc.o" "gcc" "src/CMakeFiles/caesar.dir/algebra/operator.cc.o.d"
+  "/root/repo/src/algebra/pattern_op.cc" "src/CMakeFiles/caesar.dir/algebra/pattern_op.cc.o" "gcc" "src/CMakeFiles/caesar.dir/algebra/pattern_op.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/caesar.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/caesar.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/caesar.dir/common/status.cc.o" "gcc" "src/CMakeFiles/caesar.dir/common/status.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/caesar.dir/event/event.cc.o" "gcc" "src/CMakeFiles/caesar.dir/event/event.cc.o.d"
+  "/root/repo/src/event/schema.cc" "src/CMakeFiles/caesar.dir/event/schema.cc.o" "gcc" "src/CMakeFiles/caesar.dir/event/schema.cc.o.d"
+  "/root/repo/src/event/value.cc" "src/CMakeFiles/caesar.dir/event/value.cc.o" "gcc" "src/CMakeFiles/caesar.dir/event/value.cc.o.d"
+  "/root/repo/src/expr/analysis.cc" "src/CMakeFiles/caesar.dir/expr/analysis.cc.o" "gcc" "src/CMakeFiles/caesar.dir/expr/analysis.cc.o.d"
+  "/root/repo/src/expr/compiled.cc" "src/CMakeFiles/caesar.dir/expr/compiled.cc.o" "gcc" "src/CMakeFiles/caesar.dir/expr/compiled.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/caesar.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/caesar.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/lexer.cc" "src/CMakeFiles/caesar.dir/expr/lexer.cc.o" "gcc" "src/CMakeFiles/caesar.dir/expr/lexer.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/CMakeFiles/caesar.dir/expr/parser.cc.o" "gcc" "src/CMakeFiles/caesar.dir/expr/parser.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/caesar.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/caesar.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/dot.cc" "src/CMakeFiles/caesar.dir/io/dot.cc.o" "gcc" "src/CMakeFiles/caesar.dir/io/dot.cc.o.d"
+  "/root/repo/src/optimizer/calibration.cc" "src/CMakeFiles/caesar.dir/optimizer/calibration.cc.o" "gcc" "src/CMakeFiles/caesar.dir/optimizer/calibration.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/caesar.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/caesar.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/mqo.cc" "src/CMakeFiles/caesar.dir/optimizer/mqo.cc.o" "gcc" "src/CMakeFiles/caesar.dir/optimizer/mqo.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/caesar.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/caesar.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/overlap_analysis.cc" "src/CMakeFiles/caesar.dir/optimizer/overlap_analysis.cc.o" "gcc" "src/CMakeFiles/caesar.dir/optimizer/overlap_analysis.cc.o.d"
+  "/root/repo/src/optimizer/window_grouping.cc" "src/CMakeFiles/caesar.dir/optimizer/window_grouping.cc.o" "gcc" "src/CMakeFiles/caesar.dir/optimizer/window_grouping.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/caesar.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/caesar.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/translator.cc" "src/CMakeFiles/caesar.dir/plan/translator.cc.o" "gcc" "src/CMakeFiles/caesar.dir/plan/translator.cc.o.d"
+  "/root/repo/src/query/model.cc" "src/CMakeFiles/caesar.dir/query/model.cc.o" "gcc" "src/CMakeFiles/caesar.dir/query/model.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/caesar.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/caesar.dir/query/parser.cc.o.d"
+  "/root/repo/src/runtime/context_vector.cc" "src/CMakeFiles/caesar.dir/runtime/context_vector.cc.o" "gcc" "src/CMakeFiles/caesar.dir/runtime/context_vector.cc.o.d"
+  "/root/repo/src/runtime/distributor.cc" "src/CMakeFiles/caesar.dir/runtime/distributor.cc.o" "gcc" "src/CMakeFiles/caesar.dir/runtime/distributor.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/caesar.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/caesar.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/statistics.cc" "src/CMakeFiles/caesar.dir/runtime/statistics.cc.o" "gcc" "src/CMakeFiles/caesar.dir/runtime/statistics.cc.o.d"
+  "/root/repo/src/workloads/linear_road.cc" "src/CMakeFiles/caesar.dir/workloads/linear_road.cc.o" "gcc" "src/CMakeFiles/caesar.dir/workloads/linear_road.cc.o.d"
+  "/root/repo/src/workloads/pamap.cc" "src/CMakeFiles/caesar.dir/workloads/pamap.cc.o" "gcc" "src/CMakeFiles/caesar.dir/workloads/pamap.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/caesar.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/caesar.dir/workloads/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

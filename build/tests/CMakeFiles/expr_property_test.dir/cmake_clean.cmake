@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_property_test.dir/expr_property_test.cc.o"
+  "CMakeFiles/expr_property_test.dir/expr_property_test.cc.o.d"
+  "expr_property_test"
+  "expr_property_test.pdb"
+  "expr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[LinearRoadTextModelTest.TextModelMatchesProgrammaticModel]=]  /root/repo/build/tests/linear_road_text_test [==[--gtest_filter=LinearRoadTextModelTest.TextModelMatchesProgrammaticModel]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[LinearRoadTextModelTest.TextModelMatchesProgrammaticModel]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  linear_road_text_test_TESTS LinearRoadTextModelTest.TextModelMatchesProgrammaticModel)
