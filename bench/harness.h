@@ -74,11 +74,11 @@ inline Result<ExecutablePlan> BuildPlan(const CaesarModel& model,
 //    run with the smallest max latency is reported, filtering OS scheduling
 //    noise (the paper averages three runs on a dedicated testbed; on a
 //    shared machine the minimum is the robust estimator of the true cost).
-inline RunStats RunExperiment(const CaesarModel& model,
-                              const EventBatch& stream, PlanMode mode,
-                              double accel, int num_threads = 1,
-                              int repetitions = 3,
-                              double warmup_fraction = 0.2) {
+inline RunStats RunExperimentWithOptions(const CaesarModel& model,
+                                         const EventBatch& stream,
+                                         PlanMode mode, EngineOptions options,
+                                         int repetitions = 3,
+                                         double warmup_fraction = 0.2) {
   Result<ExecutablePlan> plan = BuildPlan(model, mode);
   if (!plan.ok()) {
     std::fprintf(stderr, "plan (%s): %s\n", PlanModeName(mode),
@@ -102,16 +102,25 @@ inline RunStats RunExperiment(const CaesarModel& model,
 
   RunStats best;
   for (int rep = 0; rep < repetitions; ++rep) {
-    EngineOptions options;
-    options.accel = accel;
-    options.num_threads = num_threads;
-    options.collect_outputs = false;
     Engine engine(plan.value().Clone(), options);
     engine.Run(warmup);
     RunStats stats = engine.Run(measured);
     if (rep == 0 || stats.max_latency < best.max_latency) best = stats;
   }
   return best;
+}
+
+inline RunStats RunExperiment(const CaesarModel& model,
+                              const EventBatch& stream, PlanMode mode,
+                              double accel, int num_threads = 1,
+                              int repetitions = 3,
+                              double warmup_fraction = 0.2) {
+  EngineOptions options;
+  options.accel = accel;
+  options.num_threads = num_threads;
+  options.collect_outputs = false;
+  return RunExperimentWithOptions(model, stream, mode, options, repetitions,
+                                  warmup_fraction);
 }
 
 }  // namespace bench

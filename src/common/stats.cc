@@ -16,6 +16,13 @@ void RunningStats::Merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+std::string RunningStats::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << mean() << " min=" << min()
+     << " max=" << max();
+  return os.str();
+}
+
 Histogram::Histogram(double lo, double hi, int num_buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / num_buckets), buckets_(num_buckets) {
   CAESAR_CHECK_GT(num_buckets, 0);

@@ -23,6 +23,9 @@ class RunningStats {
 
   void Merge(const RunningStats& other);
 
+  // "count=N mean=M min=L max=H" one-liner for reports.
+  std::string ToString() const;
+
   int64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }

@@ -1,9 +1,7 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <sstream>
-#include <thread>
 
 #include "algebra/context_ops.h"
 #include "common/logging.h"
@@ -26,6 +24,11 @@ std::string RunStats::ToString() const {
      << "s cpu=" << cpu_seconds << "s ops=" << ops_executed
      << " suspended=" << suspended_chains << "/"
      << suspended_chains + executed_chains << " txns=" << transactions;
+  if (parallel_ticks > 0) {
+    os << " pool_ticks=" << parallel_ticks << " pool_tasks=" << parallel_tasks
+       << " imbalance=" << shard_imbalance
+       << " barrier_wait=" << barrier_wait_seconds << "s";
+  }
   for (const auto& [type, count] : derived_by_type) {
     os << "\n  " << type << ": " << count;
   }
@@ -144,6 +147,17 @@ struct Engine::PartitionState {
 Engine::Engine(ExecutablePlan plan, EngineOptions options)
     : plan_(std::move(plan)), options_(std::move(options)) {
   CAESAR_CHECK_GE(options_.num_threads, 1);
+  // Resolve partition attribute indices for every type known now, so the
+  // cache is read-only on the hot path (see header comment).
+  if (!plan_.partition_by.empty()) {
+    partition_attr_cache_.resize(plan_.registry->num_types());
+    for (TypeId id = 0; id < plan_.registry->num_types(); ++id) {
+      ResolvePartitionAttrs(id);
+    }
+  }
+  if (options_.num_threads > 1) {
+    executor_ = std::make_unique<ShardedExecutor>(options_.num_threads);
+  }
 }
 
 Engine::~Engine() = default;
@@ -197,19 +211,29 @@ Engine::PartitionState* Engine::GetOrCreatePartition(uint64_t key) {
   return result;
 }
 
+void Engine::ResolvePartitionAttrs(TypeId type_id) {
+  const Schema& schema = plan_.registry->type(type_id).schema;
+  std::vector<int>& indices = partition_attr_cache_[type_id];
+  indices.clear();
+  indices.reserve(plan_.partition_by.size());
+  for (const std::string& attr : plan_.partition_by) {
+    indices.push_back(schema.IndexOf(attr));
+  }
+}
+
 uint64_t Engine::PartitionKeyOf(const Event& event) {
   if (plan_.partition_by.empty()) return 0;
   TypeId type_id = event.type_id();
-  if (type_id >= static_cast<TypeId>(partition_attr_cache_.size())) {
-    partition_attr_cache_.resize(type_id + 1);
-  }
-  std::vector<int>& indices = partition_attr_cache_[type_id];
-  if (indices.empty()) {
-    const Schema& schema = plan_.registry->type(type_id).schema;
-    for (const std::string& attr : plan_.partition_by) {
-      indices.push_back(schema.IndexOf(attr));
+  if (type_id >= static_cast<TypeId>(partition_attr_cache_.size()) ||
+      partition_attr_cache_[type_id].empty()) {
+    // Type registered after construction: lazy fallback, scheduler thread
+    // only (distribution precedes worker dispatch within a tick).
+    if (type_id >= static_cast<TypeId>(partition_attr_cache_.size())) {
+      partition_attr_cache_.resize(type_id + 1);
     }
+    ResolvePartitionAttrs(type_id);
   }
+  const std::vector<int>& indices = partition_attr_cache_[type_id];
   uint64_t key = 0x12345678;
   for (int index : indices) {
     if (index < 0) continue;
@@ -228,6 +252,8 @@ RunStats Engine::Run(const EventBatch& input, EventBatch* outputs) {
   for (const auto& [key, partition] : partitions_) {
     ops_before += partition->ops_counter;
   }
+  const ExecutorMetrics exec_before =
+      executor_ != nullptr ? executor_->metrics() : ExecutorMetrics{};
 
   size_t i = 0;
   const double tick_wall = options_.seconds_per_tick / options_.accel;
@@ -245,34 +271,31 @@ RunStats Engine::Run(const EventBatch& input, EventBatch* outputs) {
     }
 
     // Execute one transaction per partition; measure processing cost.
+    // Partitions are created here, on the scheduler thread, so workers only
+    // ever touch existing partition state.
     Stopwatch watch;
     std::vector<std::pair<PartitionState*, const EventBatch*>> work;
     work.reserve(by_partition.size());
+    shard_scratch_.clear();
     for (auto& [key, events] : by_partition) {
       work.emplace_back(GetOrCreatePartition(key), &events);
+      shard_scratch_.push_back(key);
     }
     std::vector<EventBatch> derived(work.size());
-    if (options_.num_threads <= 1 || work.size() <= 1) {
+    if (executor_ == nullptr) {
       for (size_t w = 0; w < work.size(); ++w) {
         ProcessTransaction(work[w].first, t, *work[w].second, &derived[w]);
       }
     } else {
-      int threads = std::min<int>(options_.num_threads,
-                                  static_cast<int>(work.size()));
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      std::atomic<size_t> next{0};
-      for (int n = 0; n < threads; ++n) {
-        pool.emplace_back([&]() {
-          while (true) {
-            size_t w = next.fetch_add(1);
-            if (w >= work.size()) return;
-            ProcessTransaction(work[w].first, t, *work[w].second,
-                               &derived[w]);
-          }
-        });
-      }
-      for (std::thread& thread : pool) thread.join();
+      // Every tick goes through the pool: a partition is always processed
+      // by the worker owning its shard (key % num_workers), so partition
+      // state is single-writer without locks.
+      executor_->ExecuteTick(work.size(), shard_scratch_.data(),
+                             [&](size_t w) {
+                               ProcessTransaction(work[w].first, t,
+                                                  *work[w].second,
+                                                  &derived[w]);
+                             });
     }
     double dt = watch.ElapsedSeconds();
     stats.cpu_seconds += dt;
@@ -330,6 +353,17 @@ RunStats Engine::Run(const EventBatch& input, EventBatch* outputs) {
   }
   stats.ops_executed = ops_after - ops_before;
   stats.partitions = static_cast<int64_t>(partitions_.size());
+  if (executor_ != nullptr) {
+    const ExecutorMetrics& exec = executor_->metrics();
+    stats.parallel_ticks =
+        static_cast<int64_t>(exec.ticks - exec_before.ticks);
+    stats.parallel_tasks =
+        static_cast<int64_t>(exec.tasks - exec_before.tasks);
+    stats.shard_imbalance =
+        static_cast<int64_t>(exec.imbalance - exec_before.imbalance);
+    stats.barrier_wait_seconds =
+        exec.barrier_wait.sum() - exec_before.barrier_wait.sum();
+  }
   return stats;
 }
 
@@ -435,6 +469,10 @@ void Engine::RunQuery(PartitionState* partition, QueryState* query,
 
 StatisticsReport Engine::CollectStatistics() const {
   StatisticsReport report;
+  if (executor_ != nullptr) {
+    report.executor_workers = executor_->num_workers();
+    report.executor = executor_->metrics();
+  }
   // Aggregate by (phase position, op index) across partitions; the plan's
   // query order is identical in every partition.
   int64_t suspended = 0;

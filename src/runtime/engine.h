@@ -39,14 +39,17 @@
 #include "common/stats.h"
 #include "plan/plan.h"
 #include "runtime/context_vector.h"
+#include "runtime/executor.h"
 #include "runtime/statistics.h"
 
 namespace caesar {
 
 // Engine configuration.
 struct EngineOptions {
-  // Worker threads for per-partition transactions (1 = serial,
-  // deterministic).
+  // Worker threads for per-partition transactions. 1 = serial on the
+  // scheduler thread; > 1 creates a persistent ShardedExecutor whose
+  // workers live for the lifetime of the Engine. Both modes derive
+  // byte-identical event sequences (see runtime/executor.h).
   int num_threads = 1;
 
   // Acceleration of the latency model: how many simulated seconds arrive
@@ -92,6 +95,15 @@ struct RunStats {
   int64_t transactions = 0;
   int64_t partitions = 0;
 
+  // Worker-pool metrics for this Run (all zero in serial mode): ticks and
+  // partition transactions dispatched through the pool, summed per-tick
+  // worker imbalance (max - min tasks over workers), and scheduler time
+  // blocked on the per-tick barrier.
+  int64_t parallel_ticks = 0;
+  int64_t parallel_tasks = 0;
+  int64_t shard_imbalance = 0;
+  double barrier_wait_seconds = 0.0;
+
   std::string ToString() const;
 };
 
@@ -130,12 +142,19 @@ class Engine {
   // partitions (requires EngineOptions::gather_statistics).
   StatisticsReport CollectStatistics() const;
 
+  // The persistent worker pool; null when num_threads == 1. Exposed for
+  // tests and benchmarks (cumulative metrics, worker count).
+  const ShardedExecutor* executor() const { return executor_.get(); }
+
  private:
   struct PartitionState;
   struct QueryState;
 
   PartitionState* GetOrCreatePartition(uint64_t key);
   uint64_t PartitionKeyOf(const Event& event);
+
+  // Fills partition_attr_cache_[type_id] from the registry schema.
+  void ResolvePartitionAttrs(TypeId type_id);
 
   // Executes one stream transaction (one partition, one time stamp).
   void ProcessTransaction(PartitionState* partition, Timestamp t,
@@ -153,11 +172,20 @@ class Engine {
   EngineOptions options_;
   TickObserver observer_;
 
-  // Partition attribute indices per event type (lazily resolved; -2 =
-  // unresolved, -1 = attribute absent).
+  // Partition attribute indices per event type (-1 = attribute absent).
+  // Resolved eagerly for every type known at construction so event
+  // distribution never mutates it; types registered later resolve lazily,
+  // which stays safe because distribution runs only on the scheduler
+  // thread, before workers are woken for the tick.
   std::vector<std::vector<int>> partition_attr_cache_;
 
   std::map<uint64_t, std::unique_ptr<PartitionState>> partitions_;
+
+  // Persistent sharded worker pool (created in the constructor when
+  // num_threads > 1, reused across ticks and Run calls).
+  std::unique_ptr<ShardedExecutor> executor_;
+  // Scratch: the current tick's partition keys, in work order.
+  std::vector<uint64_t> shard_scratch_;
 
   // Virtual clock state (persists across Run calls).
   double vclock_completion_ = 0.0;

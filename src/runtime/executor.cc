@@ -1,0 +1,91 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace caesar {
+
+ShardedExecutor::ShardedExecutor(int num_workers)
+    : num_workers_(num_workers) {
+  CAESAR_CHECK_GE(num_workers, 1);
+  workers_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w]() { WorkerLoop(w); });
+  }
+}
+
+ShardedExecutor::~ShardedExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardedExecutor::ExecuteTick(size_t count, const uint64_t* shards,
+                                  const std::function<void(size_t)>& task) {
+  // Tally per-worker load before dispatch (the shards array is the
+  // scheduler's; workers only read it).
+  uint64_t min_load = 0;
+  uint64_t max_load = 0;
+  if (count > 0 && num_workers_ > 1) {
+    std::vector<uint64_t> load(num_workers_, 0);
+    for (size_t i = 0; i < count; ++i) {
+      ++load[shards[i] % static_cast<uint64_t>(num_workers_)];
+    }
+    min_load = *std::min_element(load.begin(), load.end());
+    max_load = *std::max_element(load.begin(), load.end());
+  }
+
+  Stopwatch wait;
+  std::unique_lock<std::mutex> lock(mu_);
+  task_count_ = count;
+  task_shards_ = shards;
+  task_fn_ = &task;
+  pending_ = num_workers_;
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this]() { return pending_ == 0; });
+  task_fn_ = nullptr;
+  task_shards_ = nullptr;
+
+  ++metrics_.ticks;
+  metrics_.tasks += count;
+  metrics_.imbalance += max_load - min_load;
+  metrics_.barrier_wait.Add(wait.ElapsedSeconds());
+}
+
+void ShardedExecutor::WorkerLoop(int worker_id) {
+  const uint64_t self = static_cast<uint64_t>(worker_id);
+  const uint64_t workers = static_cast<uint64_t>(num_workers_);
+  uint64_t seen_epoch = 0;
+  while (true) {
+    size_t count;
+    const uint64_t* shards;
+    const std::function<void(size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&]() { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      count = task_count_;
+      shards = task_shards_;
+      fn = task_fn_;
+    }
+    // Run this worker's shard of the tick. The scheduler blocks until the
+    // barrier below, so `shards`/`fn` stay valid throughout.
+    for (size_t i = 0; i < count; ++i) {
+      if (shards[i] % workers == self) (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace caesar

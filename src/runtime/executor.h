@@ -1,0 +1,102 @@
+// Persistent partition-sharded worker pool (the parallel half of the
+// paper's Fig. 8 runtime).
+//
+// The engine's scheduler processes one *tick* (all stream transactions of
+// one application time stamp) at a time. In parallel mode it dispatches the
+// tick's per-partition transactions to this pool instead of running them
+// inline. Two properties make the pool safe and deterministic:
+//
+//  - *Sharded ownership*: task i of a tick carries a shard key (the engine
+//    passes the partition key), and worker `key % num_workers` is the only
+//    worker that ever executes it. A partition is therefore touched by the
+//    same worker on every tick and across Run calls, so per-partition state
+//    needs no locking — ownership is the synchronization.
+//  - *Barrier per tick*: ExecuteTick blocks the scheduler until every
+//    worker has finished its shard of the tick. Workers never see two ticks
+//    at once, and the scheduler's pre-tick writes (work lists, partition
+//    creation) happen-before all worker reads via the epoch mutex.
+//
+// Workers are created once (constructor) and live until destruction —
+// per-tick thread spawn/join cost is gone. Determinism of the *merge* is
+// the engine's job: it lays tasks out in partition-key order and
+// concatenates their output batches in that same order, so thread
+// interleaving never reaches the derived stream.
+
+#ifndef CAESAR_RUNTIME_EXECUTOR_H_
+#define CAESAR_RUNTIME_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace caesar {
+
+// Cumulative pool counters, readable between ticks (never during one).
+struct ExecutorMetrics {
+  // Ticks dispatched through the pool (including empty ones).
+  uint64_t ticks = 0;
+  // Tasks (partition transactions) dispatched over all ticks.
+  uint64_t tasks = 0;
+  // Shard imbalance: sum over ticks of (max - min) tasks assigned to any
+  // worker. 0 = perfectly even; large values mean the partition-key
+  // distribution starves some workers.
+  uint64_t imbalance = 0;
+  // Scheduler time blocked on the per-tick barrier (count = ticks, max =
+  // slowest tick). Includes the workers' useful work; the interesting
+  // signal is its distribution relative to per-tick cost.
+  RunningStats barrier_wait;
+};
+
+// Fixed-size pool of long-lived workers executing sharded ticks.
+class ShardedExecutor {
+ public:
+  // Spawns `num_workers` (>= 1) threads immediately.
+  explicit ShardedExecutor(int num_workers);
+
+  // Wakes and joins all workers. Must not race with ExecuteTick.
+  ~ShardedExecutor();
+
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  // Runs tasks 0..count-1; task i executes on worker `shards[i] %
+  // num_workers()` (shards may be null iff count == 0). Blocks until every
+  // worker has finished the tick. Call from one scheduler thread only; the
+  // task callable must be safe to invoke concurrently for different i.
+  void ExecuteTick(size_t count, const uint64_t* shards,
+                   const std::function<void(size_t)>& task);
+
+  // Snapshot of the cumulative counters (call between ticks).
+  const ExecutorMetrics& metrics() const { return metrics_; }
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  const int num_workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "a new epoch is posted"
+  std::condition_variable done_cv_;  // scheduler: "all workers finished"
+  uint64_t epoch_ = 0;               // bumped once per tick
+  int pending_ = 0;                  // workers still inside the epoch
+  bool shutdown_ = false;
+
+  // The posted tick, published under mu_ and stable until the barrier.
+  size_t task_count_ = 0;
+  const uint64_t* task_shards_ = nullptr;
+  const std::function<void(size_t)>* task_fn_ = nullptr;
+
+  ExecutorMetrics metrics_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_RUNTIME_EXECUTOR_H_

@@ -7,6 +7,12 @@ namespace caesar {
 std::string StatisticsReport::ToString() const {
   std::ostringstream os;
   os << "observed context activity: " << observed_context_activity << "\n";
+  if (executor_workers > 0) {
+    os << "executor: workers=" << executor_workers
+       << " ticks=" << executor.ticks << " tasks=" << executor.tasks
+       << " imbalance=" << executor.imbalance << " barrier_wait["
+       << executor.barrier_wait.ToString() << "]\n";
+  }
   for (const QueryOperatorStats& row : operators) {
     os << "  " << row.query << " #" << row.op_index << " "
        << OperatorKindName(row.kind) << " [" << row.description

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "algebra/operator.h"
+#include "runtime/executor.h"
 
 namespace caesar {
 
@@ -63,6 +64,11 @@ struct StatisticsReport {
   // Fraction of chain executions that actually ran (vs suspended); the
   // observed counterpart of CostModelParams::context_activity.
   double observed_context_activity = 1.0;
+
+  // Worker-pool snapshot (cumulative over the engine's lifetime);
+  // executor_workers == 0 means the engine runs serially.
+  int executor_workers = 0;
+  ExecutorMetrics executor;
 
   std::string ToString() const;
 };

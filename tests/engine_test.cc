@@ -8,6 +8,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "optimizer/optimizer.h"
 #include "plan/translator.h"
@@ -288,6 +289,43 @@ CONTEXT high;
   EXPECT_LT(stats_a.ops_executed, stats_b.ops_executed);
   EXPECT_GT(stats_a.suspended_chains, 0);
   EXPECT_EQ(stats_b.suspended_chains, 0);
+}
+
+// Regression: partition attribute indices are resolved eagerly at engine
+// construction (PartitionKeyOf must not mutate shared state once worker
+// threads exist). Types registered *after* construction still resolve via
+// the scheduler-thread-only lazy fallback — including in parallel mode.
+TEST_F(EngineTest, PartitionAttrCacheHandlesLateRegisteredTypes) {
+  CaesarModel model = Parse(kMiniModel);
+  auto make_engine = [&](int num_threads) {
+    auto plan = TranslateModel(model, PlanOptions());
+    CAESAR_CHECK_OK(plan.status());
+    EngineOptions options;
+    options.num_threads = num_threads;
+    return std::make_unique<Engine>(std::move(plan).value(), options);
+  };
+  auto serial = make_engine(1);
+  auto parallel = make_engine(4);
+
+  // Register an additional partitioned type only after both engines (and
+  // the parallel engine's workers) exist.
+  TypeId extra = registry_.RegisterOrGet(
+      "Extra", {{"seg", ValueType::kInt}, {"sec", ValueType::kInt}});
+  EventBatch input;
+  for (Timestamp t = 0; t < 60; ++t) {
+    for (int64_t seg = 1; seg <= 5; ++seg) {
+      input.push_back(Reading(seg, (t + seg) % 30, t));
+      input.push_back(MakeEvent(extra, t, {Value(seg), Value(t)}));
+    }
+  }
+  EventBatch out_serial, out_parallel;
+  RunStats stats_serial = serial->Run(input, &out_serial);
+  RunStats stats_parallel = parallel->Run(input, &out_parallel);
+  EXPECT_EQ(serial->num_partitions(), 5);
+  EXPECT_EQ(parallel->num_partitions(), 5);
+  EXPECT_EQ(stats_serial.derived_events, stats_parallel.derived_events);
+  EXPECT_GT(stats_serial.derived_events, 0);
+  EXPECT_EQ(Canonical(out_serial), Canonical(out_parallel));
 }
 
 TEST_F(EngineTest, MultiThreadedMatchesSerial) {

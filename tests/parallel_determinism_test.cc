@@ -1,0 +1,213 @@
+// Parallel determinism suite: for every workload generator (synthetic,
+// Linear Road, PAMAP) the sharded executor must produce a byte-identical
+// derived-event sequence — same events, same order — and equal semantic
+// RunStats counters for num_threads in {2, 4, 8} vs the serial engine,
+// with and without statistics gathering. Runs under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "optimizer/optimizer.h"
+#include "plan/translator.h"
+#include "runtime/engine.h"
+#include "workloads/linear_road.h"
+#include "workloads/pamap.h"
+#include "workloads/synthetic.h"
+
+namespace caesar {
+namespace {
+
+struct RunResult {
+  std::string derived;     // ToString of every output event, in order
+  RunStats stats;
+  std::string statistics;  // operator rows (executor line stripped)
+};
+
+// Drops report lines that legitimately differ between serial and parallel
+// runs (the executor snapshot).
+std::string StripExecutorLines(const std::string& report) {
+  std::istringstream in(report);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("executor:", 0) == 0) continue;
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+RunResult RunWith(const ExecutablePlan& plan, const EventBatch& stream,
+                  const TypeRegistry& registry, int num_threads,
+                  bool gather_statistics) {
+  EngineOptions options;
+  options.num_threads = num_threads;
+  options.gather_statistics = gather_statistics;
+  Engine engine(plan.Clone(), options);
+  EventBatch outputs;
+  RunResult result;
+  result.stats = engine.Run(stream, &outputs);
+  std::ostringstream os;
+  for (const EventPtr& event : outputs) {
+    os << event->time() << " " << event->ToString(registry) << "\n";
+  }
+  result.derived = os.str();
+  if (gather_statistics) {
+    result.statistics = StripExecutorLines(engine.CollectStatistics().ToString());
+  }
+  return result;
+}
+
+// The semantic counters that must not depend on the thread count. Timing
+// fields (latency, cpu_seconds, barrier wait) are excluded by design.
+void ExpectEqualCounters(const RunStats& serial, const RunStats& parallel,
+                         int num_threads) {
+  EXPECT_EQ(serial.input_events, parallel.input_events) << num_threads;
+  EXPECT_EQ(serial.derived_events, parallel.derived_events) << num_threads;
+  EXPECT_EQ(serial.derived_by_type, parallel.derived_by_type) << num_threads;
+  EXPECT_EQ(serial.ops_executed, parallel.ops_executed) << num_threads;
+  EXPECT_EQ(serial.suspended_chains, parallel.suspended_chains)
+      << num_threads;
+  EXPECT_EQ(serial.executed_chains, parallel.executed_chains) << num_threads;
+  EXPECT_EQ(serial.transactions, parallel.transactions) << num_threads;
+  EXPECT_EQ(serial.partitions, parallel.partitions) << num_threads;
+}
+
+void ExpectParallelMatchesSerial(const ExecutablePlan& plan,
+                                 const EventBatch& stream,
+                                 const TypeRegistry& registry) {
+  ASSERT_FALSE(stream.empty());
+  for (bool gather : {false, true}) {
+    RunResult serial = RunWith(plan, stream, registry, 1, gather);
+    // A meaningful check needs actual derived traffic.
+    EXPECT_GT(serial.stats.derived_events, 0);
+    EXPECT_GT(serial.stats.partitions, 1);
+    for (int num_threads : {2, 4, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(num_threads) +
+                   " gather=" + std::to_string(gather));
+      RunResult parallel =
+          RunWith(plan, stream, registry, num_threads, gather);
+      EXPECT_EQ(serial.derived, parallel.derived);
+      ExpectEqualCounters(serial.stats, parallel.stats, num_threads);
+      EXPECT_EQ(serial.statistics, parallel.statistics);
+      // The pool really ran: every tick was dispatched through it.
+      EXPECT_GT(parallel.stats.parallel_ticks, 0);
+      EXPECT_EQ(parallel.stats.parallel_tasks, parallel.stats.transactions);
+    }
+  }
+}
+
+ExecutablePlan Optimize(const CaesarModel& model) {
+  auto plan = OptimizeModel(model, OptimizerOptions());
+  CAESAR_CHECK_OK(plan.status());
+  return std::move(plan).value();
+}
+
+TEST(ParallelDeterminismTest, SyntheticWorkload) {
+  SyntheticConfig config;
+  config.duration = 300;
+  config.num_partitions = 8;
+  config.events_per_tick = 2;
+  config.windows = LayOutWindows(/*count=*/3, /*length=*/60, /*overlap=*/20,
+                                 /*first_start=*/30);
+  config.assignment = SyntheticConfig::QueryAssignment::kPerWindowCopies;
+  config.queries_per_window = 2;
+  TypeRegistry registry;
+  EventBatch stream = GenerateSyntheticStream(config, &registry);
+  auto model = MakeSyntheticModel(config, &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExpectParallelMatchesSerial(Optimize(model.value()), stream, registry);
+}
+
+TEST(ParallelDeterminismTest, LinearRoadWorkload) {
+  LinearRoadConfig config;
+  config.num_xways = 2;
+  config.num_segments = 6;
+  config.duration = 300;
+  config.seed = 7;
+  LinearRoadModelConfig model_config;
+  model_config.processing_replicas = 2;
+  TypeRegistry registry;
+  EventBatch stream = GenerateLinearRoadStream(config, &registry);
+  auto model = MakeLinearRoadModel(model_config, &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExpectParallelMatchesSerial(Optimize(model.value()), stream, registry);
+}
+
+TEST(ParallelDeterminismTest, LinearRoadContextIndependentBaseline) {
+  // The baseline plan's private guard chains and per-query context vectors
+  // must also be safe under the sharded pool.
+  LinearRoadConfig config;
+  config.num_xways = 1;
+  config.num_segments = 6;
+  config.duration = 240;
+  config.seed = 11;
+  TypeRegistry registry;
+  EventBatch stream = GenerateLinearRoadStream(config, &registry);
+  auto model = MakeLinearRoadModel(LinearRoadModelConfig(), &registry);
+  CAESAR_CHECK_OK(model.status());
+  auto plan = BaselinePlan(model.value());
+  CAESAR_CHECK_OK(plan.status());
+  ExpectParallelMatchesSerial(plan.value(), stream, registry);
+}
+
+TEST(ParallelDeterminismTest, PamapWorkload) {
+  PamapConfig config;
+  config.num_subjects = 6;
+  config.duration = 1200;
+  config.exercise_phases_per_subject = 2.0;
+  config.exercise_duration = 300;
+  config.seed = 3;
+  TypeRegistry registry;
+  EventBatch stream = GeneratePamapStream(config, &registry);
+  auto model = MakePamapModel(PamapModelConfig(), &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExpectParallelMatchesSerial(Optimize(model.value()), stream, registry);
+}
+
+TEST(ParallelDeterminismTest, SplitRunsMatchSingleRun) {
+  // Engine state (contexts, partial matches, the worker pool) carries over
+  // between Run calls; processing a stream in two halves through one
+  // parallel engine must equal one uninterrupted run.
+  LinearRoadConfig config;
+  config.num_xways = 1;
+  config.num_segments = 8;
+  config.duration = 240;
+  config.seed = 19;
+  TypeRegistry registry;
+  EventBatch stream = GenerateLinearRoadStream(config, &registry);
+  auto model = MakeLinearRoadModel(LinearRoadModelConfig(), &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExecutablePlan plan = Optimize(model.value());
+
+  auto render = [&](const EventBatch& events) {
+    std::ostringstream os;
+    for (const EventPtr& event : events) {
+      os << event->time() << " " << event->ToString(registry) << "\n";
+    }
+    return os.str();
+  };
+
+  EngineOptions options;
+  options.num_threads = 4;
+  Engine whole(plan.Clone(), options);
+  EventBatch whole_out;
+  whole.Run(stream, &whole_out);
+
+  // Split at a tick boundary.
+  size_t split = stream.size() / 2;
+  Timestamp boundary = stream[split]->time();
+  while (split > 0 && stream[split - 1]->time() == boundary) --split;
+  Engine halves(plan.Clone(), options);
+  EventBatch halves_out;
+  halves.Run(EventBatch(stream.begin(), stream.begin() + split), &halves_out);
+  halves.Run(EventBatch(stream.begin() + split, stream.end()), &halves_out);
+
+  EXPECT_GT(whole_out.size(), 0u);
+  EXPECT_EQ(render(whole_out), render(halves_out));
+}
+
+}  // namespace
+}  // namespace caesar
