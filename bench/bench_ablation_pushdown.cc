@@ -48,7 +48,7 @@ int Main(int argc, char** argv) {
     EngineOptions engine_options;
     engine_options.collect_outputs = false;
     Engine engine(std::move(plan).value(), engine_options);
-    RunStats stats = engine.Run(stream);
+    RunStats stats = engine.Run(stream).value();
     table.Row({bench::FmtInt(position),
                bench::FmtInt(static_cast<int64_t>(stats.ops_executed)),
                bench::Fmt(stats.cpu_seconds, 4),

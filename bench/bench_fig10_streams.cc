@@ -64,7 +64,7 @@ int Main(int argc, char** argv) {
 
   // Focus on the segment with the most accidents: tally after the run.
   EventBatch outputs;
-  RunStats stats = engine.Run(stream, &outputs);
+  RunStats stats = engine.Run(stream, &outputs).value();
 
   auto attr = [&](const EventPtr& event, const char* name) -> int64_t {
     const Schema& schema = registry.type(event->type_id()).schema;

@@ -103,8 +103,8 @@ inline RunStats RunExperimentWithOptions(const CaesarModel& model,
   RunStats best;
   for (int rep = 0; rep < repetitions; ++rep) {
     Engine engine(plan.value().Clone(), options);
-    engine.Run(warmup);
-    RunStats stats = engine.Run(measured);
+    engine.Run(warmup).value();
+    RunStats stats = engine.Run(measured).value();
     if (rep == 0 || stats.max_latency < best.max_latency) best = stats;
   }
   return best;

@@ -47,7 +47,7 @@ int main() {
 
   Engine engine(std::move(plan).value(), EngineOptions());
   EventBatch derived;
-  RunStats stats = engine.Run(reports, &derived);
+  RunStats stats = engine.Run(reports, &derived).value();
 
   // Per-subject spike summary.
   std::map<int64_t, int> spikes_per_subject;

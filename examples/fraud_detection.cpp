@@ -131,7 +131,7 @@ int main() {
             });
 
   EventBatch findings;
-  RunStats stats = engine.Run(stream, &findings);
+  RunStats stats = engine.Run(stream, &findings).value();
 
   std::printf("fraud findings:\n");
   for (const EventPtr& finding : findings) {

@@ -76,7 +76,7 @@ int main() {
         {Value(int64_t{1}), Value(readings[t]), Value(int64_t{t})}));
   }
   EventBatch alerts;
-  RunStats stats = engine.Run(input, &alerts);
+  RunStats stats = engine.Run(input, &alerts).value();
 
   // 4. Inspect the derived complex events.
   std::printf("derived %lld alert(s):\n",

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
 
   // 4. Replay.
   Engine engine(std::move(plan).value(), EngineOptions());
-  RunStats stats = engine.Run(replayed.value());
+  RunStats stats = engine.Run(replayed.value()).value();
   std::printf("\nreplay summary:\n%s\n", stats.ToString().c_str());
   return 0;
 }

@@ -64,7 +64,7 @@ int main() {
       ++timeline[t / 60][type];
     }
   });
-  RunStats stats = engine.Run(reports);
+  RunStats stats = engine.Run(reports).value();
 
   std::printf("--- derived events per minute ---\n");
   std::printf("%6s %10s %10s %10s %10s\n", "minute", "toll", "zero_toll",
@@ -91,7 +91,7 @@ int main() {
     return 1;
   }
   Engine baseline_engine(std::move(baseline).value(), EngineOptions());
-  RunStats baseline_stats = baseline_engine.Run(reports);
+  RunStats baseline_stats = baseline_engine.Run(reports).value();
   std::printf("\n--- context-independent baseline ---\n");
   std::printf("operator work units: %llu (context-aware: %llu, %.1fx less)\n",
               static_cast<unsigned long long>(baseline_stats.ops_executed),

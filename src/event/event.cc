@@ -36,10 +36,16 @@ EventPtr MakeComplexEvent(TypeId type_id, Timestamp start_time,
 }
 
 bool IsTimeOrdered(const EventBatch& batch) {
+  return FirstOutOfOrderIndex(batch) < 0;
+}
+
+ptrdiff_t FirstOutOfOrderIndex(const EventBatch& batch) {
   for (size_t i = 1; i < batch.size(); ++i) {
-    if (batch[i - 1]->time() > batch[i]->time()) return false;
+    if (batch[i - 1]->time() > batch[i]->time()) {
+      return static_cast<ptrdiff_t>(i);
+    }
   }
-  return true;
+  return -1;
 }
 
 }  // namespace caesar

@@ -8,6 +8,7 @@
 #ifndef CAESAR_EVENT_EVENT_H_
 #define CAESAR_EVENT_EVENT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,6 +75,10 @@ using EventBatch = std::vector<EventPtr>;
 
 // Returns true if all events in `batch` are ordered by non-decreasing time().
 bool IsTimeOrdered(const EventBatch& batch);
+
+// Index of the first event that breaks non-decreasing time() order, or -1
+// if the batch is time-ordered (used for descriptive ingest errors).
+ptrdiff_t FirstOutOfOrderIndex(const EventBatch& batch);
 
 }  // namespace caesar
 

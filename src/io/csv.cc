@@ -1,7 +1,9 @@
 #include "io/csv.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <queue>
 #include <sstream>
@@ -68,6 +70,35 @@ Result<ValueType> ParseValueType(const std::string& name) {
   return Status::ParseError("unknown attribute type: " + name);
 }
 
+// "<stream>:<line>: <message>" — every reader error carries its location.
+Status AtLine(const std::string& stream_name, int64_t line, StatusCode code,
+              const std::string& message) {
+  return Status(code, stream_name + ":" + std::to_string(line) + ": " +
+                          message);
+}
+
+// Non-throwing full-string number parses (library code never throws; the
+// std::sto* family does on malformed cells).
+bool ParseInt64Cell(const std::string& cell, int64_t* out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(cell.c_str(), &end, 10);
+  if (errno == ERANGE || end != cell.c_str() + cell.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseDoubleCell(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(cell.c_str(), &end);
+  if (errno == ERANGE || end != cell.c_str() + cell.size()) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 Result<std::string> WriteEventsCsv(const EventBatch& events,
@@ -120,20 +151,29 @@ Result<std::string> WriteEventsCsv(const EventBatch& events,
   return os.str();
 }
 
-Result<EventBatch> ReadEventsCsv(const std::string& text,
-                                 TypeRegistry* registry) {
+CsvParseResult ReadEventsCsvTolerant(const std::string& text,
+                                     TypeRegistry* registry,
+                                     const std::string& stream_name) {
+  CsvParseResult result;
   std::istringstream is(text);
   std::string line;
+  auto fail = [&](int64_t line_no, StatusCode code,
+                  const std::string& message) -> CsvParseResult& {
+    result.status = AtLine(stream_name, line_no, code, message);
+    result.error_line = line_no;
+    result.rows_parsed = static_cast<int64_t>(result.events.size());
+    return result;
+  };
 
   // Header line 1: "# type: <name>".
   if (!std::getline(is, line) || line.rfind("# type: ", 0) != 0) {
-    return Status::ParseError("missing '# type:' header");
+    return fail(1, StatusCode::kParseError, "missing '# type:' header");
   }
   std::string type_name = Trim(line.substr(8));
 
   // Header line 2: "# attrs: name:type, ...".
   if (!std::getline(is, line) || line.rfind("# attrs: ", 0) != 0) {
-    return Status::ParseError("missing '# attrs:' header");
+    return fail(2, StatusCode::kParseError, "missing '# attrs:' header");
   }
   std::vector<Attribute> attributes;
   {
@@ -143,45 +183,58 @@ Result<EventBatch> ReadEventsCsv(const std::string& text,
       item = Trim(item);
       size_t colon = item.rfind(':');
       if (colon == std::string::npos) {
-        return Status::ParseError("malformed attribute spec: " + item);
+        return fail(2, StatusCode::kParseError,
+                    "malformed attribute spec: " + item);
       }
-      CAESAR_ASSIGN_OR_RETURN(ValueType type,
-                              ParseValueType(Trim(item.substr(colon + 1))));
-      attributes.push_back({Trim(item.substr(0, colon)), type});
+      Result<ValueType> type = ParseValueType(Trim(item.substr(colon + 1)));
+      if (!type.ok()) {
+        return fail(2, StatusCode::kParseError, type.status().message());
+      }
+      attributes.push_back({Trim(item.substr(0, colon)), type.value()});
     }
   }
   TypeId type_id = registry->RegisterOrGet(type_name, attributes);
   const Schema& schema = registry->type(type_id).schema;
   if (schema.num_attributes() != static_cast<int>(attributes.size())) {
-    return Status::FailedPrecondition(
-        "type " + type_name + " already registered with a different schema");
+    return fail(2, StatusCode::kFailedPrecondition,
+                "type " + type_name +
+                    " already registered with a different schema");
   }
 
   // Header line 3: column names (ignored beyond a sanity check).
   if (!std::getline(is, line) || line.rfind("time", 0) != 0) {
-    return Status::ParseError("missing column header");
+    return fail(3, StatusCode::kParseError, "missing column header");
   }
 
-  EventBatch events;
-  int line_no = 3;
+  int64_t line_no = 3;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
+    int64_t row_line = line_no;  // first physical line of this row
     // A quoted cell may span physical lines: keep appending while the
     // number of quote characters is odd (escaped quotes contribute two).
+    bool truncated = false;
     while (std::count(line.begin(), line.end(), '"') % 2 == 1) {
       std::string more;
-      if (!std::getline(is, more)) break;
+      if (!std::getline(is, more)) {
+        truncated = true;
+        break;
+      }
       ++line_no;
       line += "\n" + more;
     }
-    CAESAR_ASSIGN_OR_RETURN(std::vector<std::string> cells,
-                            SplitCsvLine(line));
+    Result<std::vector<std::string>> split = SplitCsvLine(line);
+    if (!split.ok()) {
+      std::string message = split.status().message() + " (row starts at line " +
+                            std::to_string(row_line) + ")";
+      if (truncated) message += "; input truncated mid-quote?";
+      return fail(line_no, StatusCode::kParseError, message);
+    }
+    const std::vector<std::string>& cells = split.value();
     if (cells.size() != attributes.size() + 1) {
-      return Status::ParseError("line " + std::to_string(line_no) +
-                                ": expected " +
-                                std::to_string(attributes.size() + 1) +
-                                " cells, got " + std::to_string(cells.size()));
+      return fail(row_line, StatusCode::kParseError,
+                  "expected " + std::to_string(attributes.size() + 1) +
+                      " cells, got " + std::to_string(cells.size()));
     }
     Timestamp time = 0;
     std::vector<Value> values;
@@ -189,26 +242,61 @@ Result<EventBatch> ReadEventsCsv(const std::string& text,
     for (size_t i = 0; i < cells.size(); ++i) {
       const std::string& cell = cells[i];
       if (i == 0) {
-        time = std::stoll(cell);
+        int64_t parsed = 0;
+        if (!ParseInt64Cell(cell, &parsed)) {
+          return fail(row_line, StatusCode::kParseError,
+                      "invalid time stamp '" + cell + "'");
+        }
+        time = parsed;
         continue;
       }
-      switch (attributes[i - 1].type) {
-        case ValueType::kInt:
-          values.push_back(cell.empty()
-                               ? Value()
-                               : Value(static_cast<int64_t>(std::stoll(cell))));
+      const Attribute& attribute = attributes[i - 1];
+      switch (attribute.type) {
+        case ValueType::kInt: {
+          if (cell.empty()) {
+            values.push_back(Value());
+            break;
+          }
+          int64_t parsed = 0;
+          if (!ParseInt64Cell(cell, &parsed)) {
+            return fail(row_line, StatusCode::kParseError,
+                        "invalid int value '" + cell + "' for attribute '" +
+                            attribute.name + "'");
+          }
+          values.push_back(Value(parsed));
           break;
-        case ValueType::kDouble:
-          values.push_back(cell.empty() ? Value() : Value(std::stod(cell)));
+        }
+        case ValueType::kDouble: {
+          if (cell.empty()) {
+            values.push_back(Value());
+            break;
+          }
+          double parsed = 0.0;
+          if (!ParseDoubleCell(cell, &parsed)) {
+            return fail(row_line, StatusCode::kParseError,
+                        "invalid double value '" + cell + "' for attribute '" +
+                            attribute.name + "'");
+          }
+          values.push_back(Value(parsed));
           break;
+        }
         default:
           values.push_back(Value(cell));
           break;
       }
     }
-    events.push_back(MakeEvent(type_id, time, std::move(values)));
+    result.events.push_back(MakeEvent(type_id, time, std::move(values)));
   }
-  return events;
+  result.rows_parsed = static_cast<int64_t>(result.events.size());
+  return result;
+}
+
+Result<EventBatch> ReadEventsCsv(const std::string& text,
+                                 TypeRegistry* registry,
+                                 const std::string& stream_name) {
+  CsvParseResult result = ReadEventsCsvTolerant(text, registry, stream_name);
+  if (!result.status.ok()) return result.status;
+  return std::move(result.events);
 }
 
 Status WriteEventsCsvFile(const std::string& path, const EventBatch& events,
@@ -227,7 +315,7 @@ Result<EventBatch> ReadEventsCsvFile(const std::string& path,
   if (!in) return Status::NotFound("cannot open: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ReadEventsCsv(buffer.str(), registry);
+  return ReadEventsCsv(buffer.str(), registry, path);
 }
 
 EventBatch MergeByTime(std::vector<EventBatch> batches) {

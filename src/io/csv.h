@@ -27,10 +27,28 @@ namespace caesar {
 Result<std::string> WriteEventsCsv(const EventBatch& events,
                                    const TypeRegistry& registry);
 
+// Outcome of a tolerant CSV parse: every row parsed before the first error
+// is kept, so a corrupt tail does not discard a good prefix. Error messages
+// are prefixed "<stream_name>:<1-based line>:".
+struct CsvParseResult {
+  EventBatch events;       // rows parsed before the first error (all if ok)
+  Status status;           // Ok(), or the first error with its location
+  int64_t rows_parsed = 0;  // == events.size()
+  int64_t error_line = 0;   // 1-based physical line of the error (0 = none)
+};
+
+// Parses CSV text produced by WriteEventsCsv, keeping the partial batch on
+// error. `stream_name` labels error messages (e.g. the file path).
+CsvParseResult ReadEventsCsvTolerant(const std::string& text,
+                                     TypeRegistry* registry,
+                                     const std::string& stream_name = "<csv>");
+
 // Parses CSV text produced by WriteEventsCsv. The event type is registered
-// in `registry` if absent (with the schema from the header).
+// in `registry` if absent (with the schema from the header). All-or-nothing
+// wrapper over ReadEventsCsvTolerant.
 Result<EventBatch> ReadEventsCsv(const std::string& text,
-                                 TypeRegistry* registry);
+                                 TypeRegistry* registry,
+                                 const std::string& stream_name = "<csv>");
 
 // Writes `events` to `path`; all events must share one type.
 Status WriteEventsCsvFile(const std::string& path, const EventBatch& events,

@@ -98,13 +98,13 @@ Status StreamingEngine::Push(int source, EventPtr event) {
   return distributor_.Push(source, std::move(event));
 }
 
-RunStats StreamingEngine::Advance(EventBatch* outputs) {
+Result<RunStats> StreamingEngine::Advance(EventBatch* outputs) {
   EventBatch released;
   distributor_.Release(&released);
   return engine_->Run(released, outputs);
 }
 
-RunStats StreamingEngine::Flush(EventBatch* outputs) {
+Result<RunStats> StreamingEngine::Flush(EventBatch* outputs) {
   for (int s = 0; s < distributor_.num_sources(); ++s) {
     distributor_.Close(s);
   }

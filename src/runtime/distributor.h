@@ -77,11 +77,12 @@ class StreamingEngine {
   // source has progressed past their time stamp.
   Status Push(int source, EventPtr event);
 
-  // Runs all currently released transactions; returns their stats.
-  RunStats Advance(EventBatch* outputs = nullptr);
+  // Runs all currently released transactions; returns their stats (or the
+  // engine's ingest error under IngestPolicy::kStrict).
+  Result<RunStats> Advance(EventBatch* outputs = nullptr);
 
   // Closes all sources, drains the remaining buffer and runs it.
-  RunStats Flush(EventBatch* outputs = nullptr);
+  Result<RunStats> Flush(EventBatch* outputs = nullptr);
 
   void CloseSource(int source) { distributor_.Close(source); }
 

@@ -29,6 +29,13 @@ std::string RunStats::ToString() const {
        << " imbalance=" << shard_imbalance
        << " barrier_wait=" << barrier_wait_seconds << "s";
   }
+  if (events_reordered > 0 || events_quarantined > 0 ||
+      max_observed_lateness > 0) {
+    os << " reordered=" << events_reordered
+       << " dropped_late=" << events_dropped_late
+       << " quarantined=" << events_quarantined
+       << " max_lateness=" << max_observed_lateness;
+  }
   for (const auto& [type, count] : derived_by_type) {
     os << "\n  " << type << ": " << count;
   }
@@ -144,9 +151,54 @@ struct Engine::PartitionState {
   EventBatch pool;  // scratch, reused across transactions
 };
 
+Status EngineOptions::Validate() const {
+  if (num_threads < 1) {
+    return Status::InvalidArgument(
+        "EngineOptions::num_threads must be >= 1, got " +
+        std::to_string(num_threads));
+  }
+  if (reorder_slack < 0) {
+    return Status::InvalidArgument(
+        "EngineOptions::reorder_slack must be >= 0, got " +
+        std::to_string(reorder_slack));
+  }
+  if (!(accel > 0.0)) {
+    return Status::InvalidArgument(
+        "EngineOptions::accel must be positive, got " +
+        std::to_string(accel));
+  }
+  if (!(seconds_per_tick > 0.0)) {
+    return Status::InvalidArgument(
+        "EngineOptions::seconds_per_tick must be positive, got " +
+        std::to_string(seconds_per_tick));
+  }
+  if (gc_interval < 1) {
+    return Status::InvalidArgument(
+        "EngineOptions::gc_interval must be >= 1, got " +
+        std::to_string(gc_interval));
+  }
+  if (gc_horizon < 0) {
+    return Status::InvalidArgument(
+        "EngineOptions::gc_horizon must be >= 0, got " +
+        std::to_string(gc_horizon));
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(ExecutablePlan plan,
+                                               EngineOptions options) {
+  CAESAR_RETURN_IF_ERROR(options.Validate());
+  return std::make_unique<Engine>(std::move(plan), std::move(options));
+}
+
 Engine::Engine(ExecutablePlan plan, EngineOptions options)
-    : plan_(std::move(plan)), options_(std::move(options)) {
-  CAESAR_CHECK_GE(options_.num_threads, 1);
+    : plan_(std::move(plan)),
+      options_(std::move(options)),
+      quarantine_(options_.quarantine_capacity) {
+  CAESAR_CHECK_OK(options_.Validate());
+  if (options_.ingest_policy == IngestPolicy::kReorder) {
+    reorder_ = std::make_unique<ReorderBuffer>(options_.reorder_slack);
+  }
   // Resolve partition attribute indices for every type known now, so the
   // cache is read-only on the hot path (see header comment).
   if (!plan_.partition_by.empty()) {
@@ -242,10 +294,123 @@ uint64_t Engine::PartitionKeyOf(const Event& event) {
   return key;
 }
 
-RunStats Engine::Run(const EventBatch& input, EventBatch* outputs) {
+bool Engine::ClassifyMalformed(const Event& event,
+                               QuarantineReason* reason) const {
+  if (event.type_id() < 0 ||
+      event.type_id() >= static_cast<TypeId>(plan_.registry->num_types())) {
+    *reason = QuarantineReason::kUnknownType;
+    return true;
+  }
+  if (event.time() < 0) {
+    *reason = QuarantineReason::kNegativeTime;
+    return true;
+  }
+  if (event.end_time() < event.start_time()) {
+    *reason = QuarantineReason::kInvertedInterval;
+    return true;
+  }
+  return false;
+}
+
+void Engine::QuarantineEvent(EventPtr event, QuarantineReason reason) {
+  // Partition attribution needs a registered type; unknown types land in
+  // partition 0 (unpartitionable).
+  uint64_t key = reason == QuarantineReason::kUnknownType
+                     ? 0
+                     : PartitionKeyOf(*event);
+  if (reason == QuarantineReason::kOutOfOrder ||
+      reason == QuarantineReason::kLateBeyondSlack) {
+    ++ingest_metrics_.dropped_late;
+  }
+  ++ingest_metrics_.quarantined;
+  quarantine_.Add(std::move(event), reason, key);
+}
+
+Status Engine::IngestBatch(const EventBatch& input, EventBatch* admitted,
+                           const EventBatch** effective, RunStats* stats) {
+  *effective = &input;
+  if (options_.ingest_policy == IngestPolicy::kStrict) {
+    // Validate without mutating anything; the batch is either processed in
+    // full or rejected in full.
+    for (size_t i = 0; i < input.size(); ++i) {
+      QuarantineReason reason;
+      if (ClassifyMalformed(*input[i], &reason)) {
+        return Status::InvalidArgument(
+            "strict ingest: malformed event at index " + std::to_string(i) +
+            " (" + QuarantineReasonName(reason) +
+            "); use IngestPolicy::kDrop or kReorder to quarantine instead");
+      }
+    }
+    ptrdiff_t unordered = FirstOutOfOrderIndex(input);
+    if (unordered >= 0) {
+      return Status::FailedPrecondition(
+          "strict ingest: input not time-ordered at index " +
+          std::to_string(unordered) + ": time " +
+          std::to_string(input[unordered]->time()) + " after " +
+          std::to_string(input[unordered - 1]->time()) +
+          "; use IngestPolicy::kReorder with a lateness slack to "
+          "re-sequence bounded disorder");
+    }
+    ingest_metrics_.admitted += static_cast<int64_t>(input.size());
+    return Status::Ok();
+  }
+
+  admitted->reserve(input.size());
+  Timestamp run_max_lateness = 0;
+  auto note_lateness = [&](Timestamp high_water, Timestamp t) {
+    Timestamp lateness = high_water - t;
+    run_max_lateness = std::max(run_max_lateness, lateness);
+    ingest_metrics_.max_observed_lateness =
+        std::max(ingest_metrics_.max_observed_lateness, lateness);
+  };
+  for (const EventPtr& event : input) {
+    QuarantineReason reason;
+    if (ClassifyMalformed(*event, &reason)) {
+      QuarantineEvent(event, reason);
+      continue;
+    }
+    Timestamp t = event->time();
+    if (options_.ingest_policy == IngestPolicy::kDrop) {
+      if (drop_any_admitted_ && t < drop_max_admitted_) {
+        note_lateness(drop_max_admitted_, t);
+        QuarantineEvent(event, QuarantineReason::kOutOfOrder);
+        continue;
+      }
+      drop_any_admitted_ = true;
+      drop_max_admitted_ = t;
+      admitted->push_back(event);
+    } else {  // kReorder
+      bool late = reorder_->any_seen() && t < reorder_->max_seen();
+      if (late) note_lateness(reorder_->max_seen(), t);
+      if (!reorder_->Push(event, admitted)) {
+        QuarantineEvent(event, QuarantineReason::kLateBeyondSlack);
+        continue;
+      }
+      if (late) ++ingest_metrics_.reordered;
+    }
+  }
+  if (reorder_ != nullptr) {
+    // Run processes its batch to completion: end of batch is end of stream
+    // for everything still buffered. The high-water mark persists, so a
+    // later Run cannot sneak events underneath what was already emitted.
+    reorder_->Flush(admitted);
+  }
+  ingest_metrics_.admitted += static_cast<int64_t>(admitted->size());
+  stats->max_observed_lateness = run_max_lateness;
+  *effective = admitted;
+  return Status::Ok();
+}
+
+Result<RunStats> Engine::Run(const EventBatch& raw_input,
+                             EventBatch* outputs) {
   RunStats stats;
-  stats.input_events = static_cast<int64_t>(input.size());
-  CAESAR_CHECK(IsTimeOrdered(input)) << "engine requires time-ordered input";
+  stats.input_events = static_cast<int64_t>(raw_input.size());
+  const IngestMetrics ingest_before = ingest_metrics_;
+  EventBatch admitted;
+  const EventBatch* effective = nullptr;
+  CAESAR_RETURN_IF_ERROR(
+      IngestBatch(raw_input, &admitted, &effective, &stats));
+  const EventBatch& input = *effective;
 
   RunningStats latency;
   uint64_t ops_before = 0;
@@ -364,6 +529,11 @@ RunStats Engine::Run(const EventBatch& input, EventBatch* outputs) {
     stats.barrier_wait_seconds =
         exec.barrier_wait.sum() - exec_before.barrier_wait.sum();
   }
+  stats.events_reordered = ingest_metrics_.reordered - ingest_before.reordered;
+  stats.events_dropped_late =
+      ingest_metrics_.dropped_late - ingest_before.dropped_late;
+  stats.events_quarantined =
+      ingest_metrics_.quarantined - ingest_before.quarantined;
   return stats;
 }
 
@@ -473,6 +643,12 @@ StatisticsReport Engine::CollectStatistics() const {
     report.executor_workers = executor_->num_workers();
     report.executor = executor_->metrics();
   }
+  report.ingest = ingest_metrics_;
+  for (int r = 0; r < kNumQuarantineReasons; ++r) {
+    report.quarantine_by_reason[r] =
+        quarantine_.count(static_cast<QuarantineReason>(r));
+  }
+  report.quarantine_by_partition = quarantine_.by_partition();
   // Aggregate by (phase position, op index) across partitions; the plan's
   // query order is identical in every partition.
   int64_t suspended = 0;

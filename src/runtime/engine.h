@@ -37,9 +37,11 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "plan/plan.h"
 #include "runtime/context_vector.h"
 #include "runtime/executor.h"
+#include "runtime/ingest.h"
 #include "runtime/statistics.h"
 
 namespace caesar {
@@ -70,6 +72,25 @@ struct EngineOptions {
   // Record per-operator statistics (the Fig. 8 statistics gatherer); adds a
   // small per-operator bookkeeping cost. Snapshot via CollectStatistics().
   bool gather_statistics = false;
+
+  // How Run treats disorder and malformed events (see runtime/ingest.h):
+  // kStrict rejects the batch with a Status, kDrop/kReorder degrade
+  // gracefully and quarantine what cannot be processed.
+  IngestPolicy ingest_policy = IngestPolicy::kStrict;
+
+  // Maximum admissible lateness in ticks under kReorder (>= 0). Events
+  // later than this are dropped and quarantined.
+  Timestamp reorder_slack = 0;
+
+  // How many quarantined events the dead-letter sink retains in full
+  // (counters stay exact past this bound).
+  size_t quarantine_capacity = 1024;
+
+  // Checks option invariants (num_threads >= 1, reorder_slack >= 0, accel
+  // and seconds_per_tick positive, gc_interval >= 1, gc_horizon >= 0).
+  // Returned (not aborted) so callers can surface configuration errors;
+  // Engine::Create is the validating construction path.
+  Status Validate() const;
 };
 
 // Aggregate results of one Run.
@@ -104,6 +125,17 @@ struct RunStats {
   int64_t shard_imbalance = 0;
   double barrier_wait_seconds = 0.0;
 
+  // Degradation counters for this Run (all zero under kStrict, which
+  // rejects imperfect input instead of degrading): events admitted out of
+  // arrival order and re-sequenced (kReorder), events dropped for
+  // lateness, all events diverted to the quarantine sink (late +
+  // malformed; dropped_late is a subset), and the largest lateness
+  // observed among late arrivals this Run, whatever their fate.
+  int64_t events_reordered = 0;
+  int64_t events_dropped_late = 0;
+  int64_t events_quarantined = 0;
+  Timestamp max_observed_lateness = 0;
+
   std::string ToString() const;
 };
 
@@ -114,17 +146,30 @@ using TickObserver =
 // The CAESAR engine. Owns per-partition plan instances and context state.
 class Engine {
  public:
-  // `plan` is the translated (and possibly optimizer-shaped) plan.
+  // Validating construction: returns InvalidArgument (with the offending
+  // option) instead of constructing an engine from bad configuration.
+  static Result<std::unique_ptr<Engine>> Create(ExecutablePlan plan,
+                                                EngineOptions options);
+
+  // Direct construction for known-good options; aborts if
+  // options.Validate() fails (use Create to handle that as a Status).
   Engine(ExecutablePlan plan, EngineOptions options);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  // Processes a time-ordered input stream to completion and returns run
-  // statistics. Derived events are appended to `outputs` if non-null (in
-  // deterministic order). May be called repeatedly; state carries over.
-  RunStats Run(const EventBatch& input, EventBatch* outputs = nullptr);
+  // Processes an input stream to completion and returns run statistics.
+  // The input passes through the configured ingest policy first: under
+  // kStrict, disorder or a malformed event rejects the whole batch with a
+  // descriptive error before any engine state is mutated; under
+  // kDrop/kReorder the batch is repaired (see runtime/ingest.h) and the
+  // degradation is reported in the returned RunStats. Derived events are
+  // appended to `outputs` if non-null (in deterministic order). May be
+  // called repeatedly; state — including the reorder high-water mark —
+  // carries over.
+  Result<RunStats> Run(const EventBatch& input,
+                       EventBatch* outputs = nullptr);
 
   // Optional per-timestamp observer (set before Run).
   void SetTickObserver(TickObserver observer) {
@@ -146,12 +191,30 @@ class Engine {
   // tests and benchmarks (cumulative metrics, worker count).
   const ShardedExecutor* executor() const { return executor_.get(); }
 
+  // The dead-letter sink (late and malformed events with reasons, tagged
+  // by partition) and the cumulative ingest counters.
+  const QuarantineSink& quarantine() const { return quarantine_; }
+  const IngestMetrics& ingest_metrics() const { return ingest_metrics_; }
+
  private:
   struct PartitionState;
   struct QueryState;
 
   PartitionState* GetOrCreatePartition(uint64_t key);
   uint64_t PartitionKeyOf(const Event& event);
+
+  // Applies the ingest policy to `input`: on success `*effective` points
+  // at the stream to schedule (the input itself, or `admitted`) and the
+  // per-Run degradation counters in `stats` are filled in. kStrict errors
+  // leave the engine untouched.
+  Status IngestBatch(const EventBatch& input, EventBatch* admitted,
+                     const EventBatch** effective, RunStats* stats);
+
+  // Classifies a malformed event, or returns false if it is well-formed.
+  bool ClassifyMalformed(const Event& event, QuarantineReason* reason) const;
+
+  // Quarantines `event` and maintains the cumulative counters.
+  void QuarantineEvent(EventPtr event, QuarantineReason reason);
 
   // Fills partition_attr_cache_[type_id] from the registry schema.
   void ResolvePartitionAttrs(TypeId type_id);
@@ -186,6 +249,15 @@ class Engine {
   std::unique_ptr<ShardedExecutor> executor_;
   // Scratch: the current tick's partition keys, in work order.
   std::vector<uint64_t> shard_scratch_;
+
+  // Ingest state (scheduler thread only). The reorder buffer exists iff
+  // the policy is kReorder; the drop high-water mark backs kDrop. Both
+  // persist across Run calls.
+  std::unique_ptr<ReorderBuffer> reorder_;
+  bool drop_any_admitted_ = false;
+  Timestamp drop_max_admitted_ = 0;
+  QuarantineSink quarantine_;
+  IngestMetrics ingest_metrics_;
 
   // Virtual clock state (persists across Run calls).
   double vclock_completion_ = 0.0;

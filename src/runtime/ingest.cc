@@ -1,0 +1,74 @@
+#include "runtime/ingest.h"
+
+#include <algorithm>
+
+namespace caesar {
+
+const char* IngestPolicyName(IngestPolicy policy) {
+  switch (policy) {
+    case IngestPolicy::kStrict:
+      return "strict";
+    case IngestPolicy::kDrop:
+      return "drop";
+    case IngestPolicy::kReorder:
+      return "reorder";
+  }
+  return "?";
+}
+
+const char* QuarantineReasonName(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kOutOfOrder:
+      return "out_of_order";
+    case QuarantineReason::kLateBeyondSlack:
+      return "late_beyond_slack";
+    case QuarantineReason::kUnknownType:
+      return "unknown_type";
+    case QuarantineReason::kNegativeTime:
+      return "negative_time";
+    case QuarantineReason::kInvertedInterval:
+      return "inverted_interval";
+  }
+  return "?";
+}
+
+void QuarantineSink::Add(EventPtr event, QuarantineReason reason,
+                         uint64_t partition_key) {
+  ++total_;
+  ++counts_[static_cast<int>(reason)];
+  ++by_partition_[partition_key];
+  if (entries_.size() < capacity_) {
+    entries_.push_back({std::move(event), reason, partition_key});
+  }
+}
+
+bool ReorderBuffer::Push(EventPtr event, EventBatch* released) {
+  Timestamp t = event->time();
+  if (any_seen_ && t < watermark()) return false;
+  if (any_released_ && t < last_released_) return false;
+  if (!any_seen_ || t > max_seen_) {
+    any_seen_ = true;
+    max_seen_ = t;
+  }
+  heap_.push_back({t, next_seq_++, std::move(event)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  while (!heap_.empty() && heap_.front().time <= watermark()) {
+    PopInto(released);
+  }
+  return true;
+}
+
+void ReorderBuffer::Flush(EventBatch* released) {
+  while (!heap_.empty()) PopInto(released);
+}
+
+void ReorderBuffer::PopInto(EventBatch* released) {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Pending& top = heap_.back();
+  last_released_ = top.time;
+  any_released_ = true;
+  released->push_back(std::move(top.event));
+  heap_.pop_back();
+}
+
+}  // namespace caesar

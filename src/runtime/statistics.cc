@@ -13,6 +13,23 @@ std::string StatisticsReport::ToString() const {
        << " imbalance=" << executor.imbalance << " barrier_wait["
        << executor.barrier_wait.ToString() << "]\n";
   }
+  if (ingest.reordered > 0 || ingest.quarantined > 0 ||
+      ingest.max_observed_lateness > 0) {
+    os << "ingest: admitted=" << ingest.admitted
+       << " reordered=" << ingest.reordered
+       << " dropped_late=" << ingest.dropped_late
+       << " quarantined=" << ingest.quarantined
+       << " max_lateness=" << ingest.max_observed_lateness << "\n";
+    if (ingest.quarantined > 0) {
+      os << "quarantine:";
+      for (int r = 0; r < kNumQuarantineReasons; ++r) {
+        if (quarantine_by_reason[r] == 0) continue;
+        os << " " << QuarantineReasonName(static_cast<QuarantineReason>(r))
+           << "=" << quarantine_by_reason[r];
+      }
+      os << " partitions=" << quarantine_by_partition.size() << "\n";
+    }
+  }
   for (const QueryOperatorStats& row : operators) {
     os << "  " << row.query << " #" << row.op_index << " "
        << OperatorKindName(row.kind) << " [" << row.description

@@ -10,11 +10,13 @@
 #define CAESAR_RUNTIME_STATISTICS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "algebra/operator.h"
 #include "runtime/executor.h"
+#include "runtime/ingest.h"
 
 namespace caesar {
 
@@ -69,6 +71,13 @@ struct StatisticsReport {
   // executor_workers == 0 means the engine runs serially.
   int executor_workers = 0;
   ExecutorMetrics executor;
+
+  // Ingest/degradation snapshot (cumulative over the engine's lifetime):
+  // the graceful-degradation counters plus the quarantine breakdown by
+  // rejection reason and by stream partition.
+  IngestMetrics ingest;
+  int64_t quarantine_by_reason[kNumQuarantineReasons] = {};
+  std::map<uint64_t, int64_t> quarantine_by_partition;
 
   std::string ToString() const;
 };

@@ -61,7 +61,7 @@ TEST_F(CalibrationTest, CalibratedParamsReflectObservedActivity) {
   for (Timestamp t = 0; t < 300; ++t) {
     input.push_back(Reading(1, rng.Uniform(0, 13), t));
   }
-  engine.Run(input);
+  engine.Run(input).value();
   StatisticsReport report = engine.CollectStatistics();
 
   CostModelParams calibrated = CalibrateCostParams(report);
@@ -97,7 +97,7 @@ QUERY narrow DERIVE A(r.value AS value) PATTERN Reading r WHERE r.value = 1;
   for (Timestamp t = 0; t < 100; ++t) {
     input.push_back(Reading(1, t % 50, t));  // filter passes 2% of events
   }
-  engine.Run(input);
+  engine.Run(input).value();
   StatisticsReport report = engine.CollectStatistics();
 
   // The filter's observed selectivity (~0.02) is far below the static 0.5

@@ -106,7 +106,7 @@ PATTERN Reading r WHERE r.value > 15 CONTEXT high;
   CAESAR_CHECK_OK(batch_plan.status());
   Engine batch_engine(std::move(batch_plan).value(), EngineOptions());
   EventBatch batch_out;
-  batch_engine.Run(batch, &batch_out);
+  batch_engine.Run(batch, &batch_out).value();
 
   // Streaming: push source by source, advancing every few events.
   auto stream_plan = TranslateModel(model.value(), PlanOptions());
@@ -119,9 +119,9 @@ PATTERN Reading r WHERE r.value > 15 CONTEXT high;
   int pushed = 0;
   for (auto& [source, event] : arrival) {
     ASSERT_TRUE(streaming.Push(source, event).ok());
-    if (++pushed % 5 == 0) streaming.Advance(&stream_out);
+    if (++pushed % 5 == 0) streaming.Advance(&stream_out).value();
   }
-  streaming.Flush(&stream_out);
+  streaming.Flush(&stream_out).value();
 
   auto canonical = [&](const EventBatch& events) {
     std::multiset<std::string> lines;
@@ -147,10 +147,10 @@ QUERY q DERIVE A(r.value AS value) PATTERN Reading r;
       std::make_unique<Engine>(std::move(plan).value(), EngineOptions()), 2);
   // Only source 0 pushed: watermark unknown, nothing released.
   ASSERT_TRUE(streaming.Push(0, Reading(1, 1, 3)).ok());
-  RunStats stats = streaming.Advance();
+  RunStats stats = streaming.Advance().value();
   EXPECT_EQ(stats.input_events, 0);
   EXPECT_EQ(streaming.distributor().buffered(), 1u);
-  RunStats flushed = streaming.Flush();
+  RunStats flushed = streaming.Flush().value();
   EXPECT_EQ(flushed.input_events, 1);
 }
 

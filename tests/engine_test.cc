@@ -88,7 +88,7 @@ TEST_F(EngineTest, ContextTransitionsGateProcessing) {
       Reading(1, 14, 4),   // re-triggers high (14 > 10) but 14 <= 15
   };
   EventBatch outputs;
-  RunStats stats = engine.Run(input, &outputs);
+  RunStats stats = engine.Run(input, &outputs).value();
 
   ASSERT_EQ(outputs.size(), 1u);
   EXPECT_EQ(registry_.type(outputs[0]->type_id()).name, "Alert");
@@ -110,7 +110,7 @@ TEST_F(EngineTest, SwitchAtSameTimestampAffectsProcessingPhase) {
   // A single event both switches to high AND satisfies the alert predicate:
   // derivation runs first, so the alert fires at the same time stamp.
   EventBatch outputs;
-  engine.Run({Reading(1, 99, 0)}, &outputs);
+  engine.Run({Reading(1, 99, 0)}, &outputs).value();
   ASSERT_EQ(outputs.size(), 1u);
   EXPECT_EQ(outputs[0]->value(1).AsInt(), 99);
 }
@@ -130,7 +130,7 @@ TEST_F(EngineTest, PartitionsHaveIndependentContexts) {
           Reading(2, 5, 2),   // seg 2 back to normal
           Reading(2, 70, 3),  // seg 2 normal again: switch + alert
       },
-      &outputs);
+      &outputs).value();
   EXPECT_EQ(engine.num_partitions(), 2);
   // seg1: alerts at 0 and 1. seg2: alerts at 1 and 3.
   EXPECT_EQ(outputs.size(), 4u);
@@ -142,8 +142,8 @@ TEST_F(EngineTest, IncrementalRunsCarryState) {
   ASSERT_TRUE(plan.ok());
   Engine engine(std::move(plan).value(), EngineOptions());
   EventBatch outputs;
-  engine.Run({Reading(1, 50, 0)}, &outputs);   // -> high
-  engine.Run({Reading(1, 20, 10)}, &outputs);  // still high: alert
+  engine.Run({Reading(1, 50, 0)}, &outputs).value();   // -> high
+  engine.Run({Reading(1, 20, 10)}, &outputs).value();  // still high: alert
   EXPECT_EQ(outputs.size(), 2u);
 }
 
@@ -156,7 +156,7 @@ TEST_F(EngineTest, TickObserverSeesDerivedEventsPerTimestamp) {
   engine.SetTickObserver([&](Timestamp t, const EventBatch& derived) {
     derived_per_tick[t] = static_cast<int>(derived.size());
   });
-  engine.Run({Reading(1, 5, 0), Reading(1, 50, 1), Reading(1, 60, 2)});
+  engine.Run({Reading(1, 5, 0), Reading(1, 50, 1), Reading(1, 60, 2)}).value();
   EXPECT_EQ(derived_per_tick[0], 0);
   EXPECT_EQ(derived_per_tick[1], 1);
   EXPECT_EQ(derived_per_tick[2], 1);
@@ -167,7 +167,7 @@ TEST_F(EngineTest, StatsArepopulated) {
   auto plan = TranslateModel(model, PlanOptions());
   ASSERT_TRUE(plan.ok());
   Engine engine(std::move(plan).value(), EngineOptions());
-  RunStats stats = engine.Run({Reading(1, 5, 0), Reading(1, 50, 1)});
+  RunStats stats = engine.Run({Reading(1, 5, 0), Reading(1, 50, 1)}).value();
   EXPECT_EQ(stats.input_events, 2);
   EXPECT_EQ(stats.transactions, 2);
   EXPECT_EQ(stats.partitions, 1);
@@ -205,7 +205,7 @@ CONTEXT high;
           Reading(1, 5, 1),    // back to normal: window ends, history gone
           Reading(1, 88, 2),   // high again (88 > 10); second half
       },
-      &outputs);
+      &outputs).value();
   // No pair: the partial from t=0 belonged to the closed window.
   EXPECT_TRUE(outputs.empty());
 
@@ -214,7 +214,7 @@ CONTEXT high;
   ASSERT_TRUE(plan2.ok());
   Engine engine2(std::move(plan2).value(), EngineOptions());
   EventBatch outputs2;
-  engine2.Run({Reading(1, 77, 0), Reading(1, 88, 2)}, &outputs2);
+  engine2.Run({Reading(1, 77, 0), Reading(1, 88, 2)}, &outputs2).value();
   EXPECT_EQ(outputs2.size(), 1u);
 }
 
@@ -239,8 +239,8 @@ TEST_F(EngineTest, ContextAwareMatchesBaselineOnRandomStreams) {
     Engine ca(std::move(ca_plan).value(), EngineOptions());
     Engine ci(std::move(ci_plan).value(), EngineOptions());
     EventBatch ca_out, ci_out;
-    ca.Run(input, &ca_out);
-    ci.Run(input, &ci_out);
+    ca.Run(input, &ca_out).value();
+    ci.Run(input, &ci_out).value();
     EXPECT_EQ(Canonical(ca_out), Canonical(ci_out)) << "trial " << trial;
   }
 }
@@ -282,8 +282,8 @@ CONTEXT high;
   Engine a(std::move(plan_a).value(), EngineOptions());
   Engine b(std::move(plan_b).value(), EngineOptions());
   EventBatch out_a, out_b;
-  RunStats stats_a = a.Run(input, &out_a);
-  RunStats stats_b = b.Run(input, &out_b);
+  RunStats stats_a = a.Run(input, &out_a).value();
+  RunStats stats_b = b.Run(input, &out_b).value();
   EXPECT_EQ(Canonical(out_a), Canonical(out_b));
   // Push-down strictly reduces operator work.
   EXPECT_LT(stats_a.ops_executed, stats_b.ops_executed);
@@ -319,8 +319,8 @@ TEST_F(EngineTest, PartitionAttrCacheHandlesLateRegisteredTypes) {
     }
   }
   EventBatch out_serial, out_parallel;
-  RunStats stats_serial = serial->Run(input, &out_serial);
-  RunStats stats_parallel = parallel->Run(input, &out_parallel);
+  RunStats stats_serial = serial->Run(input, &out_serial).value();
+  RunStats stats_parallel = parallel->Run(input, &out_parallel).value();
   EXPECT_EQ(serial->num_partitions(), 5);
   EXPECT_EQ(parallel->num_partitions(), 5);
   EXPECT_EQ(stats_serial.derived_events, stats_parallel.derived_events);
@@ -347,8 +347,8 @@ TEST_F(EngineTest, MultiThreadedMatchesSerial) {
   Engine a(std::move(plan_a).value(), serial);
   Engine b(std::move(plan_b).value(), parallel);
   EventBatch out_a, out_b;
-  a.Run(input, &out_a);
-  b.Run(input, &out_b);
+  a.Run(input, &out_a).value();
+  b.Run(input, &out_b).value();
   EXPECT_EQ(Canonical(out_a), Canonical(out_b));
 }
 

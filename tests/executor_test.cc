@@ -174,7 +174,7 @@ class ExecutorEngineTest : public ::testing::Test {
 TEST_F(ExecutorEngineTest, SerialEngineHasNoPool) {
   Engine engine(Plan(), EngineOptions());
   EXPECT_EQ(engine.executor(), nullptr);
-  RunStats stats = engine.Run(Stream(0, 10));
+  RunStats stats = engine.Run(Stream(0, 10)).value();
   EXPECT_EQ(stats.parallel_ticks, 0);
   EXPECT_EQ(stats.barrier_wait_seconds, 0.0);
 }
@@ -187,13 +187,13 @@ TEST_F(ExecutorEngineTest, WorkersCreatedOncePerEngineAndReusedAcrossRuns) {
   EXPECT_EQ(engine.executor()->num_workers(), 4);
   const ShardedExecutor* pool = engine.executor();
 
-  RunStats first = engine.Run(Stream(0, 50));
+  RunStats first = engine.Run(Stream(0, 50)).value();
   EXPECT_EQ(first.parallel_ticks, 50);
   EXPECT_EQ(first.parallel_tasks, first.transactions);
 
   // Second Run reuses the same pool object and its workers; cumulative
   // metrics keep growing.
-  RunStats second = engine.Run(Stream(50, 100));
+  RunStats second = engine.Run(Stream(50, 100)).value();
   EXPECT_EQ(engine.executor(), pool);
   EXPECT_EQ(second.parallel_ticks, 50);
   EXPECT_EQ(pool->metrics().ticks, 100u);
@@ -206,7 +206,7 @@ TEST_F(ExecutorEngineTest, StatisticsReportCarriesExecutorSnapshot) {
   options.num_threads = 3;
   options.gather_statistics = true;
   Engine engine(Plan(), options);
-  engine.Run(Stream(0, 20));
+  engine.Run(Stream(0, 20)).value();
   StatisticsReport report = engine.CollectStatistics();
   EXPECT_EQ(report.executor_workers, 3);
   EXPECT_EQ(report.executor.ticks, 20u);
@@ -218,7 +218,7 @@ TEST_F(ExecutorEngineTest, EngineDestructionJoinsWorkers) {
     EngineOptions options;
     options.num_threads = 4;
     Engine engine(Plan(), options);
-    if (i % 2 == 0) engine.Run(Stream(0, 5));
+    if (i % 2 == 0) engine.Run(Stream(0, 5)).value();
     // Destructor must join the pool cleanly, with or without a Run.
   }
 }

@@ -1,0 +1,164 @@
+// Fault injection for ingest testing: seeded, deterministic perturbations of
+// a well-formed event stream (bounded delay, shuffle, duplication, drops,
+// field corruption). Every method is a pure function of (input, seed state),
+// so a test that fixes the constructor seed reproduces bit-identically.
+//
+// The key perturbation is DelayTicks: it delays whole ticks by a bounded
+// random amount, modeling network-style reordering where events of one
+// source stay in order but interleave late. Its guarantee — no event
+// observes lateness greater than max_delay, and events of one tick stay
+// contiguous in original order — is exactly what IngestPolicy::kReorder
+// with reorder_slack >= max_delay needs to restore the original sequence,
+// making byte-identical-output assertions possible.
+
+#ifndef CAESAR_TESTS_FAULT_INJECTION_H_
+#define CAESAR_TESTS_FAULT_INJECTION_H_
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/event.h"
+
+namespace caesar {
+namespace testing {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  // Bounded per-tick delay: every distinct time stamp draws one delay in
+  // [0, max_delay] and events are stably re-sorted by (time + delay).
+  // Events of one tick stay contiguous and in original order; an event can
+  // only be overtaken by an earlier-delayed later tick, so its lateness
+  // (high-water time at arrival minus its own time) never exceeds
+  // max_delay. A reorder buffer with slack >= max_delay therefore restores
+  // the exact original sequence.
+  EventBatch DelayTicks(const EventBatch& stream, Timestamp max_delay) {
+    std::map<Timestamp, Timestamp> delay;
+    for (const EventPtr& event : stream) {
+      if (delay.find(event->time()) == delay.end()) {
+        delay[event->time()] = rng_.Uniform(0, max_delay);
+      }
+    }
+    std::vector<std::pair<Timestamp, EventPtr>> keyed;
+    keyed.reserve(stream.size());
+    for (const EventPtr& event : stream) {
+      keyed.emplace_back(event->time() + delay[event->time()], event);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    EventBatch out;
+    out.reserve(keyed.size());
+    for (auto& [key, event] : keyed) out.push_back(std::move(event));
+    return out;
+  }
+
+  // Unbounded local disorder: Fisher-Yates shuffle within consecutive
+  // windows of `window` events. Unlike DelayTicks this can split ticks and
+  // swap equal-time events, so it is the right input for drop-policy tests
+  // (where only a deterministic running-max survival rule must hold), not
+  // for byte-identity tests.
+  EventBatch ShuffleEvents(const EventBatch& stream, size_t window) {
+    EventBatch out = stream;
+    for (size_t begin = 0; begin < out.size(); begin += window) {
+      size_t end = std::min(begin + window, out.size());
+      for (size_t i = end - 1; i > begin; --i) {
+        size_t j = begin + static_cast<size_t>(
+                               rng_.Uniform(0, static_cast<int64_t>(i - begin)));
+        std::swap(out[i], out[j]);
+      }
+    }
+    return out;
+  }
+
+  // Duplicates each event with probability p; the copy follows the
+  // original immediately (same shared immutable instance).
+  EventBatch Duplicate(const EventBatch& stream, double p) {
+    EventBatch out;
+    out.reserve(stream.size() * 2);
+    for (const EventPtr& event : stream) {
+      out.push_back(event);
+      if (rng_.Bernoulli(p)) out.push_back(event);
+    }
+    return out;
+  }
+
+  // Drops each event with probability p.
+  EventBatch DropEvents(const EventBatch& stream, double p) {
+    EventBatch out;
+    out.reserve(stream.size());
+    for (const EventPtr& event : stream) {
+      if (!rng_.Bernoulli(p)) out.push_back(event);
+    }
+    return out;
+  }
+
+  // Replaces the type id with `bad_type` with probability p (the engine
+  // quarantines these as kUnknownType when bad_type is unregistered).
+  EventBatch CorruptTypes(const EventBatch& stream, double p,
+                          TypeId bad_type) {
+    return Map(stream, p, [&](const Event& event) {
+      return MakeComplexEvent(bad_type, event.start_time(), event.end_time(),
+                              event.values());
+    });
+  }
+
+  // Sends the occurrence time before the epoch with probability p
+  // (time -> -1 - time; quarantined as kNegativeTime).
+  EventBatch CorruptTimes(const EventBatch& stream, double p) {
+    return Map(stream, p, [&](const Event& event) {
+      return MakeEvent(event.type_id(), -1 - event.time(), event.values());
+    });
+  }
+
+  // Inverts the occurrence interval with probability p while keeping the
+  // ordering time() unchanged (start = time + 1 > end = time; quarantined
+  // as kInvertedInterval).
+  EventBatch CorruptIntervals(const EventBatch& stream, double p) {
+    return Map(stream, p, [&](const Event& event) {
+      return MakeComplexEvent(event.type_id(), event.time() + 1,
+                              event.time(), event.values());
+    });
+  }
+
+  // Nulls one uniformly chosen attribute value with probability p (events
+  // without attributes pass through). Null values are legal — expressions
+  // over them evaluate to null — so this probes robustness, not
+  // quarantine.
+  EventBatch CorruptFields(const EventBatch& stream, double p) {
+    return Map(stream, p, [&](const Event& event) -> EventPtr {
+      if (event.num_values() == 0) {
+        return MakeComplexEvent(event.type_id(), event.start_time(),
+                                event.end_time(), event.values());
+      }
+      std::vector<Value> values = event.values();
+      values[rng_.Uniform(0, event.num_values() - 1)] = Value();
+      return MakeComplexEvent(event.type_id(), event.start_time(),
+                              event.end_time(), std::move(values));
+    });
+  }
+
+ private:
+  // Applies `mutate` to each event with probability p.
+  template <typename Fn>
+  EventBatch Map(const EventBatch& stream, double p, Fn mutate) {
+    EventBatch out;
+    out.reserve(stream.size());
+    for (const EventPtr& event : stream) {
+      out.push_back(rng_.Bernoulli(p) ? mutate(*event) : event);
+    }
+    return out;
+  }
+
+  Rng rng_;
+};
+
+}  // namespace testing
+}  // namespace caesar
+
+#endif  // CAESAR_TESTS_FAULT_INJECTION_H_

@@ -1,0 +1,368 @@
+// Unit tests of the graceful-degradation ingest layer: the watermark-driven
+// ReorderBuffer, the bounded QuarantineSink, EngineOptions validation, and
+// the engine-level drop/reorder/strict policies on a mini model.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "plan/translator.h"
+#include "query/parser.h"
+#include "runtime/engine.h"
+#include "runtime/ingest.h"
+
+namespace caesar {
+namespace {
+
+EventPtr At(Timestamp t, int64_t tag = 0) {
+  return MakeEvent(/*type_id=*/0, t, {Value(tag)});
+}
+
+std::vector<Timestamp> Times(const EventBatch& batch) {
+  std::vector<Timestamp> times;
+  for (const EventPtr& event : batch) times.push_back(event->time());
+  return times;
+}
+
+std::vector<int64_t> Tags(const EventBatch& batch) {
+  std::vector<int64_t> tags;
+  for (const EventPtr& event : batch) tags.push_back(event->value(0).AsInt());
+  return tags;
+}
+
+TEST(ReorderBufferTest, ReleasesInTimeOrderWithinSlack) {
+  ReorderBuffer buffer(/*slack=*/2);
+  EventBatch released;
+  EXPECT_TRUE(buffer.Push(At(5), &released));
+  EXPECT_TRUE(buffer.Push(At(3), &released));  // late by 2 == slack: admitted
+  EXPECT_TRUE(buffer.Push(At(4), &released));
+  EXPECT_TRUE(buffer.Push(At(8), &released));  // watermark -> 6: 3,4,5 out
+  EXPECT_EQ(Times(released), (std::vector<Timestamp>{3, 4, 5}));
+  buffer.Flush(&released);
+  EXPECT_EQ(Times(released), (std::vector<Timestamp>{3, 4, 5, 8}));
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+TEST(ReorderBufferTest, SlackBoundaryIsInclusive) {
+  ReorderBuffer buffer(/*slack=*/3);
+  EventBatch released;
+  EXPECT_TRUE(buffer.Push(At(10), &released));
+  EXPECT_TRUE(buffer.Push(At(7), &released));   // lateness 3 == slack
+  // 7 sits exactly at the watermark: it is released immediately (any later
+  // admissible arrival at time 7 sorts after it by arrival order).
+  EXPECT_EQ(Times(released), (std::vector<Timestamp>{7}));
+  EXPECT_FALSE(buffer.Push(At(6), &released));  // lateness 4 > slack
+  EXPECT_EQ(buffer.buffered(), 1u);             // the reject buffered nothing
+  EXPECT_EQ(buffer.max_seen(), 10);
+  EXPECT_EQ(buffer.watermark(), 7);
+}
+
+TEST(ReorderBufferTest, EqualTimesKeepArrivalOrder) {
+  ReorderBuffer buffer(/*slack=*/5);
+  EventBatch released;
+  EXPECT_TRUE(buffer.Push(At(4, 1), &released));
+  EXPECT_TRUE(buffer.Push(At(2, 2), &released));
+  EXPECT_TRUE(buffer.Push(At(2, 3), &released));
+  EXPECT_TRUE(buffer.Push(At(4, 4), &released));
+  buffer.Flush(&released);
+  EXPECT_EQ(Times(released), (std::vector<Timestamp>{2, 2, 4, 4}));
+  EXPECT_EQ(Tags(released), (std::vector<int64_t>{2, 3, 1, 4}));
+}
+
+TEST(ReorderBufferTest, NothingAdmittedBelowReleasedAfterFlush) {
+  ReorderBuffer buffer(/*slack=*/10);
+  EventBatch released;
+  EXPECT_TRUE(buffer.Push(At(5), &released));
+  buffer.Flush(&released);  // 5 is emitted; the stream may not go back
+  ASSERT_EQ(Times(released), (std::vector<Timestamp>{5}));
+  // Within the slack window but older than what was already emitted.
+  EXPECT_FALSE(buffer.Push(At(4), &released));
+  EXPECT_TRUE(buffer.Push(At(5), &released));  // equal time stays admissible
+  EXPECT_TRUE(buffer.Push(At(6), &released));
+  buffer.Flush(&released);
+  EXPECT_EQ(Times(released), (std::vector<Timestamp>{5, 5, 6}));
+}
+
+TEST(ReorderBufferTest, EmissionIsMonotoneUnderHeavyDisorder) {
+  ReorderBuffer buffer(/*slack=*/4);
+  EventBatch released;
+  int64_t admitted = 0;
+  // A deterministic zig-zag with every lateness from 0 to 6.
+  for (Timestamp t : {0, 4, 1, 7, 3, 9, 5, 12, 8, 6, 15, 11}) {
+    if (buffer.Push(At(t), &released)) ++admitted;
+  }
+  buffer.Flush(&released);
+  EXPECT_EQ(static_cast<int64_t>(released.size()), admitted);
+  for (size_t i = 1; i < released.size(); ++i) {
+    EXPECT_LE(released[i - 1]->time(), released[i]->time()) << i;
+  }
+}
+
+TEST(QuarantineSinkTest, CountersStayExactPastCapacity) {
+  QuarantineSink sink(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    sink.Add(At(i), QuarantineReason::kOutOfOrder, /*partition_key=*/i % 2);
+  }
+  sink.Add(At(99), QuarantineReason::kUnknownType, /*partition_key=*/0);
+  EXPECT_EQ(sink.total(), 6);
+  EXPECT_EQ(sink.count(QuarantineReason::kOutOfOrder), 5);
+  EXPECT_EQ(sink.count(QuarantineReason::kUnknownType), 1);
+  EXPECT_EQ(sink.count(QuarantineReason::kNegativeTime), 0);
+  ASSERT_EQ(sink.entries().size(), 2u);  // only the head is retained
+  EXPECT_EQ(sink.overflow(), 4);
+  EXPECT_EQ(sink.entries()[0].event->time(), 0);
+  EXPECT_EQ(sink.entries()[1].event->time(), 1);
+  EXPECT_EQ(sink.by_partition().at(0), 4);  // 0,2,4 + the unknown-type event
+  EXPECT_EQ(sink.by_partition().at(1), 2);
+}
+
+TEST(EngineOptionsTest, ValidateNamesTheOffendingField) {
+  EngineOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+
+  options.num_threads = 0;
+  Status bad_threads = options.Validate();
+  EXPECT_FALSE(bad_threads.ok());
+  EXPECT_NE(bad_threads.message().find("num_threads"), std::string::npos)
+      << bad_threads;
+
+  options = EngineOptions();
+  options.reorder_slack = -1;
+  Status bad_slack = options.Validate();
+  EXPECT_FALSE(bad_slack.ok());
+  EXPECT_NE(bad_slack.message().find("reorder_slack"), std::string::npos)
+      << bad_slack;
+
+  options = EngineOptions();
+  options.accel = 0.0;
+  EXPECT_NE(options.Validate().message().find("accel"), std::string::npos);
+
+  options = EngineOptions();
+  options.seconds_per_tick = -2.0;
+  EXPECT_NE(options.Validate().message().find("seconds_per_tick"),
+            std::string::npos);
+
+  options = EngineOptions();
+  options.gc_interval = 0;
+  EXPECT_NE(options.Validate().message().find("gc_interval"),
+            std::string::npos);
+
+  options = EngineOptions();
+  options.gc_horizon = -5;
+  EXPECT_NE(options.Validate().message().find("gc_horizon"),
+            std::string::npos);
+}
+
+constexpr char kMiniModel[] = R"(
+CONTEXTS only;
+PARTITION BY seg;
+
+QUERY echo
+DERIVE Echo(r.seg AS seg, r.value AS value)
+PATTERN Reading r;
+)";
+
+class IngestEngineTest : public ::testing::Test {
+ protected:
+  IngestEngineTest() {
+    reading_ = registry_.RegisterOrGet("Reading", {{"seg", ValueType::kInt},
+                                                   {"value", ValueType::kInt}});
+  }
+
+  ExecutablePlan Plan() {
+    auto model = ParseModel(kMiniModel, &registry_);
+    EXPECT_TRUE(model.ok()) << model.status();
+    auto plan = TranslateModel(model.value(), PlanOptions());
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(plan).value();
+  }
+
+  EventPtr Reading(int64_t seg, int64_t value, Timestamp t) {
+    return MakeEvent(reading_, t, {Value(seg), Value(value)});
+  }
+
+  // "time:value" per derived event — the admitted sequence as the engine
+  // saw it (echo derives one event per admitted Reading).
+  std::string Echoed(const EventBatch& outputs) {
+    std::ostringstream os;
+    for (const EventPtr& event : outputs) {
+      os << event->time() << ":" << event->value(1).AsInt() << " ";
+    }
+    return os.str();
+  }
+
+  TypeRegistry registry_;
+  TypeId reading_;
+};
+
+TEST_F(IngestEngineTest, CreateRejectsBadOptionsWithoutAborting) {
+  EngineOptions bad;
+  bad.num_threads = -4;
+  auto engine = Engine::Create(Plan(), bad);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(engine.status().message().find("num_threads"), std::string::npos);
+
+  auto good = Engine::Create(Plan(), EngineOptions());
+  ASSERT_TRUE(good.ok()) << good.status();
+  EventBatch outputs;
+  RunStats stats =
+      good.value()->Run({Reading(1, 10, 0), Reading(1, 20, 1)}, &outputs)
+          .value();
+  EXPECT_EQ(stats.derived_events, 2);
+}
+
+TEST_F(IngestEngineTest, StrictPolicyReturnsStatusOnDisorder) {
+  Engine engine(Plan(), EngineOptions());
+  EventBatch disordered = {Reading(1, 10, 5), Reading(1, 20, 3)};
+  auto run = engine.Run(disordered);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().message().find("not time-ordered at index 1"),
+            std::string::npos)
+      << run.status();
+  EXPECT_NE(run.status().message().find("time 3 after 5"), std::string::npos)
+      << run.status();
+
+  // Nothing was mutated: the engine still processes a good batch, and no
+  // degradation was recorded.
+  EventBatch outputs;
+  RunStats stats = engine.Run({Reading(1, 10, 0)}, &outputs).value();
+  EXPECT_EQ(stats.derived_events, 1);
+  EXPECT_EQ(engine.quarantine().total(), 0);
+  EXPECT_EQ(engine.ingest_metrics().admitted, 1);
+}
+
+TEST_F(IngestEngineTest, StrictPolicyReturnsStatusOnMalformedEvent) {
+  Engine engine(Plan(), EngineOptions());
+  EventBatch batch = {Reading(1, 10, 0),
+                      MakeEvent(/*type_id=*/999, 1, {})};
+  auto run = engine.Run(batch);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find("malformed event at index 1"),
+            std::string::npos)
+      << run.status();
+  EXPECT_NE(run.status().message().find("unknown_type"), std::string::npos)
+      << run.status();
+}
+
+TEST_F(IngestEngineTest, DropPolicyKeepsRunningMaxAndQuarantinesTheRest) {
+  EngineOptions options;
+  options.ingest_policy = IngestPolicy::kDrop;
+  Engine engine(Plan(), options);
+  EventBatch outputs;
+  // t = 3 is older than the admitted high-water mark 5 -> dropped; the
+  // second 5 equals it -> kept.
+  EventBatch input = {Reading(1, 1, 0), Reading(1, 2, 5), Reading(1, 3, 3),
+                      Reading(1, 4, 5), Reading(1, 5, 7)};
+  RunStats stats = engine.Run(input, &outputs).value();
+  EXPECT_EQ(Echoed(outputs), "0:1 5:2 5:4 7:5 ");
+  EXPECT_EQ(stats.input_events, 5);
+  EXPECT_EQ(stats.derived_events, 4);
+  EXPECT_EQ(stats.events_dropped_late, 1);
+  EXPECT_EQ(stats.events_quarantined, 1);
+  EXPECT_EQ(stats.events_reordered, 0);
+  EXPECT_EQ(stats.max_observed_lateness, 2);  // 5 - 3
+  EXPECT_EQ(engine.quarantine().count(QuarantineReason::kOutOfOrder), 1);
+  ASSERT_EQ(engine.quarantine().entries().size(), 1u);
+  EXPECT_EQ(engine.quarantine().entries()[0].event->value(1).AsInt(), 3);
+
+  // The high-water mark persists across Run calls.
+  EventBatch more_out;
+  RunStats more = engine.Run({Reading(1, 6, 4)}, &more_out).value();
+  EXPECT_EQ(more.events_dropped_late, 1);
+  EXPECT_EQ(more.max_observed_lateness, 3);  // 7 - 4
+  EXPECT_TRUE(more_out.empty());
+  EXPECT_EQ(engine.ingest_metrics().dropped_late, 2);
+}
+
+TEST_F(IngestEngineTest, ReorderPolicyResequencesWithinSlack) {
+  EngineOptions options;
+  options.ingest_policy = IngestPolicy::kReorder;
+  options.reorder_slack = 2;
+  Engine engine(Plan(), options);
+  EventBatch outputs;
+  EventBatch input = {Reading(1, 1, 2), Reading(1, 2, 0), Reading(1, 3, 1),
+                      Reading(1, 4, 3), Reading(1, 5, 9), Reading(1, 6, 6)};
+  RunStats stats = engine.Run(input, &outputs).value();
+  // 0,1 are late by <= 2 and re-sequenced; 6 is late by 3 > slack.
+  EXPECT_EQ(Echoed(outputs), "0:2 1:3 2:1 3:4 9:5 ");
+  EXPECT_EQ(stats.events_reordered, 2);
+  EXPECT_EQ(stats.events_dropped_late, 1);
+  EXPECT_EQ(stats.events_quarantined, 1);
+  EXPECT_EQ(stats.max_observed_lateness, 3);  // 9 - 6
+  EXPECT_EQ(engine.quarantine().count(QuarantineReason::kLateBeyondSlack), 1);
+
+  // Across Runs: the high-water mark persists, so an old event stays late.
+  EventBatch more_out;
+  RunStats more = engine.Run({Reading(1, 7, 5)}, &more_out).value();
+  EXPECT_EQ(more.events_dropped_late, 1);
+  EXPECT_TRUE(more_out.empty());
+}
+
+TEST_F(IngestEngineTest, MalformedEventsAreQuarantinedWithReasons) {
+  EngineOptions options;
+  options.ingest_policy = IngestPolicy::kDrop;
+  Engine engine(Plan(), options);
+  EventBatch outputs;
+  EventBatch input = {
+      Reading(1, 1, 0),
+      MakeEvent(/*type_id=*/999, 1, {}),                        // unknown type
+      MakeEvent(reading_, -4, {Value(int64_t{1}), Value(int64_t{2})}),
+      MakeComplexEvent(reading_, /*start=*/3, /*end=*/2,
+                       {Value(int64_t{1}), Value(int64_t{3})}),  // inverted
+      Reading(1, 4, 2),
+  };
+  RunStats stats = engine.Run(input, &outputs).value();
+  EXPECT_EQ(stats.derived_events, 2);
+  EXPECT_EQ(stats.events_quarantined, 3);
+  EXPECT_EQ(stats.events_dropped_late, 0);  // malformed, not late
+  const QuarantineSink& sink = engine.quarantine();
+  EXPECT_EQ(sink.count(QuarantineReason::kUnknownType), 1);
+  EXPECT_EQ(sink.count(QuarantineReason::kNegativeTime), 1);
+  EXPECT_EQ(sink.count(QuarantineReason::kInvertedInterval), 1);
+  ASSERT_EQ(sink.entries().size(), 3u);
+  EXPECT_EQ(sink.entries()[0].reason, QuarantineReason::kUnknownType);
+  EXPECT_EQ(sink.entries()[0].partition_key, 0u);  // unpartitionable
+
+  // The report surfaces the same counters.
+  StatisticsReport report = engine.CollectStatistics();
+  EXPECT_EQ(report.ingest.quarantined, 3);
+  EXPECT_EQ(report.quarantine_by_reason[static_cast<int>(
+                QuarantineReason::kUnknownType)],
+            1);
+  EXPECT_NE(report.ToString().find("quarantine:"), std::string::npos);
+}
+
+TEST_F(IngestEngineTest, RunStatsToStringMentionsDegradation) {
+  EngineOptions options;
+  options.ingest_policy = IngestPolicy::kDrop;
+  Engine engine(Plan(), options);
+  RunStats stats =
+      engine.Run({Reading(1, 1, 5), Reading(1, 2, 3)}).value();
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("dropped_late=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("quarantined=1"), std::string::npos) << text;
+}
+
+TEST(IngestNamesTest, PolicyAndReasonNamesAreStable) {
+  EXPECT_STREQ(IngestPolicyName(IngestPolicy::kStrict), "strict");
+  EXPECT_STREQ(IngestPolicyName(IngestPolicy::kDrop), "drop");
+  EXPECT_STREQ(IngestPolicyName(IngestPolicy::kReorder), "reorder");
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kOutOfOrder),
+               "out_of_order");
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kLateBeyondSlack),
+               "late_beyond_slack");
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kUnknownType),
+               "unknown_type");
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kNegativeTime),
+               "negative_time");
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kInvertedInterval),
+               "inverted_interval");
+}
+
+}  // namespace
+}  // namespace caesar

@@ -73,6 +73,121 @@ TEST_F(CsvTest, ParseErrors) {
       ReadEventsCsv("# type: X\n# attrs: a:blob\ntime,a\n", &fresh).ok());
 }
 
+// Every reader error names its stream and 1-based physical line.
+TEST_F(CsvTest, ErrorsCarryStreamNameAndLineNumber) {
+  TypeRegistry fresh;
+  // Unknown attribute type: reported at header line 2.
+  auto bad_type =
+      ReadEventsCsv("# type: X\n# attrs: a:blob\ntime,a\n", &fresh, "feed");
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_NE(bad_type.status().message().find("feed:2: "), std::string::npos)
+      << bad_type.status();
+  EXPECT_NE(bad_type.status().message().find("unknown attribute type: blob"),
+            std::string::npos)
+      << bad_type.status();
+
+  // Arity mismatch: data rows start at line 4.
+  auto arity = ReadEventsCsv(
+      "# type: X\n# attrs: a:int\ntime,a\n1,2\n3,4,5\n", &fresh, "feed");
+  ASSERT_FALSE(arity.ok());
+  EXPECT_NE(arity.status().message().find("feed:5: "), std::string::npos)
+      << arity.status();
+  EXPECT_NE(arity.status().message().find("expected 2 cells, got 3"),
+            std::string::npos)
+      << arity.status();
+
+  // Invalid cells name the line, the cell and (for attributes) the attribute.
+  auto bad_time =
+      ReadEventsCsv("# type: X\n# attrs: a:int\ntime,a\nnope,2\n", &fresh);
+  ASSERT_FALSE(bad_time.ok());
+  EXPECT_NE(bad_time.status().message().find("<csv>:4: "), std::string::npos)
+      << bad_time.status();
+  EXPECT_NE(bad_time.status().message().find("invalid time stamp 'nope'"),
+            std::string::npos)
+      << bad_time.status();
+
+  auto bad_int =
+      ReadEventsCsv("# type: X\n# attrs: a:int\ntime,a\n1,2\n2,2x\n", &fresh);
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_NE(bad_int.status().message().find("<csv>:5: "), std::string::npos)
+      << bad_int.status();
+  EXPECT_NE(
+      bad_int.status().message().find("invalid int value '2x' for attribute "
+                                      "'a'"),
+      std::string::npos)
+      << bad_int.status();
+}
+
+TEST_F(CsvTest, UnterminatedQuoteAndTruncatedInput) {
+  TypeRegistry fresh;
+  // A quoted cell that never closes: the reader consumes the rest of the
+  // input looking for the closing quote, then reports the row's first line.
+  auto unterminated = ReadEventsCsv(
+      "# type: X\n# attrs: s:string\ntime,s\n1,\"never closed\n", &fresh);
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("unterminated quote"),
+            std::string::npos)
+      << unterminated.status();
+  EXPECT_NE(unterminated.status().message().find("row starts at line 4"),
+            std::string::npos)
+      << unterminated.status();
+  EXPECT_NE(unterminated.status().message().find("truncated mid-quote"),
+            std::string::npos)
+      << unterminated.status();
+
+  // Same but the quoted cell spans lines before the input ends: the row
+  // start is still line 4 even though later physical lines were consumed.
+  auto truncated = ReadEventsCsv(
+      "# type: X\n# attrs: s:string\ntime,s\n1,\"spans\nseveral\nlines\n",
+      &fresh);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("row starts at line 4"),
+            std::string::npos)
+      << truncated.status();
+  EXPECT_NE(truncated.status().message().find("truncated mid-quote"),
+            std::string::npos)
+      << truncated.status();
+}
+
+TEST_F(CsvTest, TolerantParseKeepsPrefixBeforeError) {
+  TypeRegistry fresh;
+  CsvParseResult result = ReadEventsCsvTolerant(
+      "# type: X\n# attrs: a:int\ntime,a\n1,10\n2,20\n3,bad\n4,40\n", &fresh,
+      "orders.csv");
+  EXPECT_FALSE(result.status.ok());
+  // Both rows before the corrupt one survive; the corrupt tail is dropped.
+  ASSERT_EQ(result.events.size(), 2u);
+  EXPECT_EQ(result.rows_parsed, 2);
+  EXPECT_EQ(result.error_line, 6);
+  EXPECT_EQ(result.events[0]->value(0).AsInt(), 10);
+  EXPECT_EQ(result.events[1]->value(0).AsInt(), 20);
+  EXPECT_NE(result.status.message().find("orders.csv:6: "), std::string::npos)
+      << result.status;
+
+  // All-good input: Ok status, zero error_line.
+  CsvParseResult ok = ReadEventsCsvTolerant(
+      "# type: X\n# attrs: a:int\ntime,a\n1,10\n", &fresh);
+  EXPECT_TRUE(ok.status.ok());
+  EXPECT_EQ(ok.rows_parsed, 1);
+  EXPECT_EQ(ok.error_line, 0);
+}
+
+TEST_F(CsvTest, FileErrorsNameThePath) {
+  std::string path = ::testing::TempDir() + "/caesar_csv_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# type: X\n# attrs: a:int\ntime,a\n1,oops\n", f);
+    std::fclose(f);
+  }
+  TypeRegistry fresh;
+  auto parsed = ReadEventsCsvFile(path, &fresh);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find(path + ":4: "), std::string::npos)
+      << parsed.status();
+  std::remove(path.c_str());
+}
+
 TEST_F(CsvTest, FileRoundTrip) {
   std::string path = ::testing::TempDir() + "/caesar_csv_test.csv";
   EventBatch events = {Order(7, 3.5, "file", 42)};

@@ -109,7 +109,7 @@ class LinearRoadModelTest : public ::testing::Test {
                       : BaselinePlan(model.value());
     CAESAR_CHECK_OK(plan.status());
     Engine engine(std::move(plan).value(), EngineOptions());
-    RunStats stats = engine.Run(stream);
+    RunStats stats = engine.Run(stream).value();
     if (derived != nullptr) *derived = stats.derived_by_type;
     return stats;
   }

@@ -128,7 +128,7 @@ TEST(LinearRoadTextModelTest, TextModelMatchesProgrammaticModel) {
     auto plan = OptimizeModel(model.value(), OptimizerOptions());
     CAESAR_CHECK_OK(plan.status());
     Engine engine(std::move(plan).value(), EngineOptions());
-    RunStats stats = engine.Run(stream);
+    RunStats stats = engine.Run(stream).value();
     return stats.derived_by_type;
   };
 

@@ -140,7 +140,7 @@ CONTEXT busy;
     ASSERT_TRUE(plan.ok()) << plan.status();
     Engine engine(std::move(plan).value(), EngineOptions());
     EventBatch outputs;
-    RunStats stats = engine.Run(input, &outputs);
+    RunStats stats = engine.Run(input, &outputs).value();
     ops.push_back(stats.ops_executed);
     if (position == 0) {
       reference = Canonical(outputs);
@@ -309,8 +309,8 @@ TEST_F(OptimizerTest, GroupedModelPreservesSemantics) {
   Engine original(std::move(plan_orig).value(), EngineOptions());
   Engine shared(std::move(plan_grouped).value(), EngineOptions());
   EventBatch out_orig, out_shared;
-  RunStats stats_orig = original.Run(Ramp(), &out_orig);
-  RunStats stats_shared = shared.Run(Ramp(), &out_shared);
+  RunStats stats_orig = original.Run(Ramp(), &out_orig).value();
+  RunStats stats_shared = shared.Run(Ramp(), &out_shared).value();
 
   // Compare derived events as *sets*: the original model computes the
   // duplicated query twice during the overlap (identical C events from

@@ -48,7 +48,7 @@ RunResult RunWith(const ExecutablePlan& plan, const EventBatch& stream,
   Engine engine(plan.Clone(), options);
   EventBatch outputs;
   RunResult result;
-  result.stats = engine.Run(stream, &outputs);
+  result.stats = engine.Run(stream, &outputs).value();
   std::ostringstream os;
   for (const EventPtr& event : outputs) {
     os << event->time() << " " << event->ToString(registry) << "\n";
@@ -194,7 +194,7 @@ TEST(ParallelDeterminismTest, SplitRunsMatchSingleRun) {
   options.num_threads = 4;
   Engine whole(plan.Clone(), options);
   EventBatch whole_out;
-  whole.Run(stream, &whole_out);
+  whole.Run(stream, &whole_out).value();
 
   // Split at a tick boundary.
   size_t split = stream.size() / 2;
@@ -202,8 +202,8 @@ TEST(ParallelDeterminismTest, SplitRunsMatchSingleRun) {
   while (split > 0 && stream[split - 1]->time() == boundary) --split;
   Engine halves(plan.Clone(), options);
   EventBatch halves_out;
-  halves.Run(EventBatch(stream.begin(), stream.begin() + split), &halves_out);
-  halves.Run(EventBatch(stream.begin() + split, stream.end()), &halves_out);
+  halves.Run(EventBatch(stream.begin(), stream.begin() + split), &halves_out).value();
+  halves.Run(EventBatch(stream.begin() + split, stream.end()), &halves_out).value();
 
   EXPECT_GT(whole_out.size(), 0u);
   EXPECT_EQ(render(whole_out), render(halves_out));

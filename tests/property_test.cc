@@ -249,7 +249,7 @@ TEST_P(PlanEquivalenceTest, AllPlanShapesDeriveTheSameEvents) {
     options.num_threads = num_threads;
     Engine engine(std::move(plan).value(), options);
     EventBatch outputs;
-    engine.Run(stream, &outputs);
+    engine.Run(stream, &outputs).value();
     std::multiset<std::string> lines;
     for (const EventPtr& event : outputs) {
       lines.insert(event->ToString(registry_));
@@ -304,7 +304,7 @@ TEST_P(SharingSweepTest, GroupingPreservesEventsAndNeverAddsWork) {
     CAESAR_CHECK_OK(plan.status());
     Engine engine(std::move(plan).value(), EngineOptions());
     EventBatch outputs;
-    *stats = engine.Run(stream, &outputs);
+    *stats = engine.Run(stream, &outputs).value();
     std::set<std::string> lines;
     for (const EventPtr& event : outputs) {
       lines.insert(event->ToString(registry));

@@ -62,7 +62,7 @@ TEST_F(RuntimeTest, StatisticsGathererRecordsPerOperatorCounts) {
   for (Timestamp t = 0; t < 100; ++t) {
     input.push_back(Reading(1, t % 30, t));
   }
-  engine.Run(input);
+  engine.Run(input).value();
 
   StatisticsReport report = engine.CollectStatistics();
   ASSERT_FALSE(report.operators.empty());
@@ -93,7 +93,7 @@ TEST_F(RuntimeTest, StatisticsDisabledByDefault) {
   auto plan = TranslateModel(model, PlanOptions());
   ASSERT_TRUE(plan.ok());
   Engine engine(std::move(plan).value(), EngineOptions());
-  engine.Run({Reading(1, 5, 0)});
+  engine.Run({Reading(1, 5, 0)}).value();
   StatisticsReport report = engine.CollectStatistics();
   EXPECT_TRUE(report.operators.empty());
 }
@@ -109,7 +109,7 @@ TEST_F(RuntimeTest, ObservedActivityTracksWindowCoverage) {
   Engine engine(std::move(plan).value(), options);
   EventBatch input;
   for (Timestamp t = 0; t < 50; ++t) input.push_back(Reading(1, 3, t));
-  engine.Run(input);
+  engine.Run(input).value();
   StatisticsReport report = engine.CollectStatistics();
   // go_normal and alert are suspended on every tick: 1 of 3 chains runs.
   EXPECT_LT(report.observed_context_activity, 0.5);
@@ -141,8 +141,8 @@ CONTEXT only;
   for (Timestamp t = 1000; t < 2000; ++t) {
     second_half.push_back(Reading(1, 1, t));
   }
-  RunStats first = engine.Run(first_half);
-  RunStats second = engine.Run(second_half);
+  RunStats first = engine.Run(first_half).value();
+  RunStats second = engine.Run(second_half).value();
   // Flat cost: the second half does not cost more than ~1.5x the first.
   EXPECT_LT(second.ops_executed, first.ops_executed * 3 / 2);
 }
@@ -156,7 +156,7 @@ TEST_F(RuntimeTest, LatencyModelDeterministicArrivalSchedule) {
   Engine engine(std::move(plan).value(), options);
   EventBatch input;
   for (Timestamp t = 0; t < 20; ++t) input.push_back(Reading(1, 3, t));
-  RunStats stats = engine.Run(input);
+  RunStats stats = engine.Run(input).value();
   // Processing 20 trivial ticks takes far less than 1 wall second each, so
   // latency is (almost) pure processing time: well below a second.
   EXPECT_LT(stats.max_latency, 0.5);
@@ -175,7 +175,7 @@ TEST_F(RuntimeTest, ManyPartitionsIsolateState) {
     }
   }
   EventBatch outputs;
-  engine.Run(input, &outputs);
+  engine.Run(input, &outputs).value();
   EXPECT_EQ(engine.num_partitions(), 64);
   // Alerts only from even segments (value 20 > 15 while high).
   for (const EventPtr& alert : outputs) {
@@ -200,7 +200,7 @@ TEST_F(RuntimeTest, MaxContextsSupported) {
   ASSERT_TRUE(plan.ok()) << plan.status();
   Engine engine(std::move(plan).value(), EngineOptions());
   EventBatch input = {Reading(1, 100, 0), Reading(1, 150, 1)};
-  RunStats stats = engine.Run(input);
+  RunStats stats = engine.Run(input).value();
   EXPECT_EQ(stats.transactions, 2);
 }
 
@@ -209,10 +209,10 @@ TEST_F(RuntimeTest, EmptyAndSingleEventRuns) {
   auto plan = TranslateModel(model, PlanOptions());
   ASSERT_TRUE(plan.ok());
   Engine engine(std::move(plan).value(), EngineOptions());
-  RunStats empty = engine.Run({});
+  RunStats empty = engine.Run({}).value();
   EXPECT_EQ(empty.input_events, 0);
   EXPECT_EQ(empty.transactions, 0);
-  RunStats one = engine.Run({Reading(1, 50, 5)});
+  RunStats one = engine.Run({Reading(1, 50, 5)}).value();
   EXPECT_EQ(one.input_events, 1);
   EXPECT_EQ(one.derived_events, 1);  // switches high and alerts
 }
@@ -225,9 +225,9 @@ TEST_F(RuntimeTest, ObserverNotCalledWithoutEvents) {
   int calls = 0;
   engine.SetTickObserver(
       [&](Timestamp, const EventBatch&) { ++calls; });
-  engine.Run({});
+  engine.Run({}).value();
   EXPECT_EQ(calls, 0);
-  engine.Run({Reading(1, 1, 0), Reading(1, 2, 0), Reading(1, 3, 1)});
+  engine.Run({Reading(1, 1, 0), Reading(1, 2, 0), Reading(1, 3, 1)}).value();
   EXPECT_EQ(calls, 2);  // one per distinct time stamp
 }
 

@@ -40,7 +40,7 @@ class SemanticsTest : public ::testing::Test {
     CAESAR_CHECK_OK(plan.status());
     Engine engine(std::move(plan).value(), EngineOptions());
     EventBatch outputs;
-    engine.Run(input, &outputs);
+    engine.Run(input, &outputs).value();
     return outputs;
   }
 
@@ -160,7 +160,7 @@ CONTEXT idle;
           Reading(1, 0, 3),  // busy ends; idle resumes at t=3
           Reading(1, 9, 4),  // IdleSeen again
       },
-      &outputs);
+      &outputs).value();
   std::vector<Timestamp> idle_seen;
   for (const EventPtr& event : outputs) {
     if (registry_.type(event->type_id()).name == "IdleSeen") {

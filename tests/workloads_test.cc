@@ -78,7 +78,7 @@ class SyntheticModelTest : public ::testing::Test {
     CAESAR_CHECK_OK(plan.status());
     Engine engine(std::move(plan).value(), EngineOptions());
     EventBatch outputs;
-    *stats = engine.Run(stream, &outputs);
+    *stats = engine.Run(stream, &outputs).value();
     std::set<std::string> lines;
     for (const EventPtr& event : outputs) {
       lines.insert(event->ToString(registry));
@@ -100,7 +100,7 @@ TEST_F(SyntheticModelTest, WindowsActivateOnSchedule) {
   ASSERT_TRUE(plan.ok()) << plan.status();
   Engine engine(std::move(plan).value(), EngineOptions());
   EventBatch outputs;
-  engine.Run(stream, &outputs);
+  engine.Run(stream, &outputs).value();
   ASSERT_GT(outputs.size(), 0u);
   for (const EventPtr& event : outputs) {
     // Matches only inside the window.
@@ -225,7 +225,7 @@ TEST(PamapTest, ModelDerivesSpikesOnlyWhileActive) {
   auto plan = OptimizeModel(model.value(), OptimizerOptions());
   ASSERT_TRUE(plan.ok()) << plan.status();
   Engine engine(std::move(plan).value(), EngineOptions());
-  RunStats stats = engine.Run(stream);
+  RunStats stats = engine.Run(stream).value();
   EXPECT_GT(stats.derived_by_type["HrSpike_0"], 0);
   EXPECT_GT(stats.suspended_chains, 0);
 }
@@ -243,7 +243,7 @@ TEST(PamapTest, ContextAwareMatchesBaseline) {
     CAESAR_CHECK_OK(plan.status());
     Engine engine(std::move(plan).value(), EngineOptions());
     EventBatch outputs;
-    engine.Run(stream, &outputs);
+    engine.Run(stream, &outputs).value();
     std::multiset<std::string> lines;
     for (const EventPtr& event : outputs) {
       lines.insert(event->ToString(registry));
