@@ -20,7 +20,9 @@ int Main(int argc, char** argv) {
   Timestamp duration = flags.Int("duration", 900);
   int replicas = static_cast<int>(flags.Int("replicas", 3));
   uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_ablation_pushdown", metrics_out);
 
   bench::Banner("Ablation: context window push-down position",
                 "Theorem 1: expected cost is minimal with the context "
@@ -47,14 +49,23 @@ int Main(int argc, char** argv) {
     CAESAR_CHECK_OK(plan.status());
     EngineOptions engine_options;
     engine_options.collect_outputs = false;
+    if (sink.enabled()) {
+      engine_options.gather_statistics = true;
+      engine_options.metrics = MetricsGranularity::kOperator;
+    }
     Engine engine(std::move(plan).value(), engine_options);
     RunStats stats = engine.Run(stream).value();
+    if (sink.enabled()) {
+      sink.Add("cw_position=" + std::to_string(position),
+               engine.CollectStatistics());
+    }
     table.Row({bench::FmtInt(position),
                bench::FmtInt(static_cast<int64_t>(stats.ops_executed)),
                bench::Fmt(stats.cpu_seconds, 4),
                bench::FmtInt(stats.derived_events),
                bench::FmtInt(stats.suspended_chains)});
   }
+  sink.Write();
   return 0;
 }
 

@@ -31,7 +31,9 @@ int Main(int argc, char** argv) {
   config.accident_episodes_per_segment =
       flags.Double("accident_rate", 0.5);
   config.seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig10_streams", metrics_out);
 
   bench::Banner("Linear Road event streams",
                 "Fig. 10(a) events per road segment; Fig. 10(b) events per "
@@ -49,7 +51,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
     return 1;
   }
-  Engine engine(std::move(plan).value(), EngineOptions());
+  EngineOptions engine_options;
+  if (sink.enabled()) {
+    engine_options.gather_statistics = true;
+    engine_options.metrics = MetricsGranularity::kOperator;
+  }
+  Engine engine(std::move(plan).value(), engine_options);
 
   // Per-segment and per-minute tallies. Derived types carry a "seg"
   // attribute; position reports are tallied from the input.
@@ -128,6 +135,8 @@ int Main(int argc, char** argv) {
   }
 
   std::printf("\nrun summary: %s\n", stats.ToString().c_str());
+  if (sink.enabled()) sink.Add("stream", engine.CollectStatistics());
+  sink.Write();
   return 0;
 }
 

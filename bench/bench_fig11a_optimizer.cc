@@ -26,7 +26,11 @@ int Main(int argc, char** argv) {
   double sharing = flags.Double("sharing", 0.5);
   int repetitions = static_cast<int>(flags.Int("reps", 3));
   uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 5));
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  // Plan search runs no engine; the sink still emits a schema-valid file
+  // with an empty runs array so callers can treat all benches uniformly.
+  bench::MetricsSink sink("bench_fig11a_optimizer", metrics_out);
 
   bench::Banner("CAESAR optimizer vs exhaustive search",
                 "Fig. 11(a): plan-search CPU time (log2 seconds) over the "
@@ -60,6 +64,7 @@ int Main(int argc, char** argv) {
                bench::FmtInt(static_cast<int64_t>(greedy_cands /
                                                   repetitions))});
   }
+  sink.Write();
   return 0;
 }
 

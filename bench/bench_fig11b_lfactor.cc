@@ -24,7 +24,9 @@ int Main(int argc, char** argv) {
   double accel = flags.Double("accel", 3000.0);
   double constraint = flags.Double("constraint", 5.0);
   uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig11b_lfactor", metrics_out);
 
   bench::Banner(
       "L-factor: optimized vs non-optimized query plan",
@@ -49,10 +51,15 @@ int Main(int argc, char** argv) {
     auto model = MakeLinearRoadModel(model_config, &registry);
     CAESAR_CHECK_OK(model.status());
 
+    StatisticsReport opt_report, nonopt_report;
     RunStats optimized = bench::RunExperiment(
-        model.value(), stream, bench::PlanMode::kOptimized, accel);
+        model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3, 0.2,
+        sink.enabled() ? &opt_report : nullptr);
     RunStats nonoptimized = bench::RunExperiment(
-        model.value(), stream, bench::PlanMode::kNonOptimized, accel);
+        model.value(), stream, bench::PlanMode::kNonOptimized, accel, 1, 3,
+        0.2, sink.enabled() ? &nonopt_report : nullptr);
+    sink.Add("roads=" + std::to_string(roads) + "/opt", opt_report);
+    sink.Add("roads=" + std::to_string(roads) + "/nonopt", nonopt_report);
 
     bool opt_ok = optimized.max_latency <= constraint;
     bool nonopt_ok = nonoptimized.max_latency <= constraint;
@@ -69,6 +76,7 @@ int Main(int argc, char** argv) {
   std::printf("\nL-factor: optimized plan = %d roads, "
               "non-optimized plan = %d roads (paper: 7 vs 5)\n",
               l_factor_optimized, l_factor_nonoptimized);
+  sink.Write();
   return 0;
 }
 

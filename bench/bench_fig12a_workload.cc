@@ -25,7 +25,9 @@ int Main(int argc, char** argv) {
   int pam_subjects = static_cast<int>(flags.Int("pam_subjects", 10));
   Timestamp pam_duration = flags.Int("pam_duration", 1500);
   uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig12a_workload", metrics_out);
 
   bench::Banner("Scaling the event query workload",
                 "Fig. 12(a): max latency, context-aware (CA) vs "
@@ -48,10 +50,17 @@ int Main(int argc, char** argv) {
       model_config.processing_replicas = replicas;
       auto model = MakeLinearRoadModel(model_config, &registry);
       CAESAR_CHECK_OK(model.status());
-      RunStats ca = bench::RunExperiment(model.value(), stream,
-                                         bench::PlanMode::kOptimized, accel);
+      StatisticsReport ca_report, ci_report;
+      RunStats ca = bench::RunExperiment(
+          model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3,
+          0.2, sink.enabled() ? &ca_report : nullptr);
       RunStats ci = bench::RunExperiment(
-          model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+          model.value(), stream, bench::PlanMode::kContextIndependent, accel,
+          1, 3, 0.2, sink.enabled() ? &ci_report : nullptr);
+      sink.Add("lr_queries=" + std::to_string(replicas * 4) + "/ca",
+               ca_report);
+      sink.Add("lr_queries=" + std::to_string(replicas * 4) + "/ci",
+               ci_report);
       table.Row({bench::FmtInt(replicas * 4), bench::Fmt(ca.max_latency),
                  bench::Fmt(ci.max_latency),
                  bench::Fmt(ci.max_latency / ca.max_latency, 1),
@@ -81,10 +90,15 @@ int Main(int argc, char** argv) {
       model_config.active_queries = queries;
       auto model = MakePamapModel(model_config, &registry);
       CAESAR_CHECK_OK(model.status());
-      RunStats ca = bench::RunExperiment(model.value(), stream,
-                                         bench::PlanMode::kOptimized, accel);
+      StatisticsReport ca_report, ci_report;
+      RunStats ca = bench::RunExperiment(
+          model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3,
+          0.2, sink.enabled() ? &ca_report : nullptr);
       RunStats ci = bench::RunExperiment(
-          model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+          model.value(), stream, bench::PlanMode::kContextIndependent, accel,
+          1, 3, 0.2, sink.enabled() ? &ci_report : nullptr);
+      sink.Add("pam_queries=" + std::to_string(queries) + "/ca", ca_report);
+      sink.Add("pam_queries=" + std::to_string(queries) + "/ci", ci_report);
       table.Row({bench::FmtInt(queries), bench::Fmt(ca.max_latency),
                  bench::Fmt(ci.max_latency),
                  bench::Fmt(ci.max_latency / ca.max_latency, 1),
@@ -93,6 +107,7 @@ int Main(int argc, char** argv) {
                  bench::FmtInt(static_cast<int64_t>(ci.ops_executed))});
     }
   }
+  sink.Write();
   return 0;
 }
 

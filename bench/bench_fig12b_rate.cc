@@ -19,7 +19,9 @@ int Main(int argc, char** argv) {
   int replicas = static_cast<int>(flags.Int("replicas", 3));
   double accel = flags.Double("accel", 2000.0);
   uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig12b_rate", metrics_out);
 
   bench::Banner("Scaling the event stream rate",
                 "Fig. 12(b): max latency over the number of roads, "
@@ -41,16 +43,22 @@ int Main(int argc, char** argv) {
     EventBatch stream = GenerateLinearRoadStream(config, &registry);
     auto model = MakeLinearRoadModel(model_config, &registry);
     CAESAR_CHECK_OK(model.status());
-    RunStats ca = bench::RunExperiment(model.value(), stream,
-                                       bench::PlanMode::kOptimized, accel);
+    StatisticsReport ca_report, ci_report;
+    RunStats ca = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3, 0.2,
+        sink.enabled() ? &ca_report : nullptr);
     RunStats ci = bench::RunExperiment(
-        model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+        model.value(), stream, bench::PlanMode::kContextIndependent, accel, 1,
+        3, 0.2, sink.enabled() ? &ci_report : nullptr);
+    sink.Add("roads=" + std::to_string(roads) + "/ca", ca_report);
+    sink.Add("roads=" + std::to_string(roads) + "/ci", ci_report);
     table.Row({bench::FmtInt(roads),
                bench::FmtInt(static_cast<int64_t>(stream.size())),
                bench::Fmt(ca.max_latency), bench::Fmt(ci.max_latency),
                bench::Fmt(ci.max_latency / ca.max_latency, 1),
                bench::Fmt(ci.cpu_seconds / ca.cpu_seconds, 1)});
   }
+  sink.Write();
   return 0;
 }
 

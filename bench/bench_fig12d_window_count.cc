@@ -20,7 +20,9 @@ int Main(int argc, char** argv) {
   int queries = static_cast<int>(flags.Int("queries", 6));
   int events_per_tick = static_cast<int>(flags.Int("events_per_tick", 2));
   double accel = flags.Double("accel", 400.0);
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig12d_window_count", metrics_out);
 
   bench::Banner("Varying the number of context windows",
                 "Fig. 12(d): CA-over-CI win ratio with the % of the stream "
@@ -40,10 +42,15 @@ int Main(int argc, char** argv) {
     EventBatch stream = GenerateSyntheticStream(config, &registry);
     auto model = MakeSyntheticModel(config, &registry);
     CAESAR_CHECK_OK(model.status());
-    RunStats ca = bench::RunExperiment(model.value(), stream,
-                                       bench::PlanMode::kOptimized, accel);
+    StatisticsReport ca_report, ci_report;
+    RunStats ca = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3, 0.2,
+        sink.enabled() ? &ca_report : nullptr);
     RunStats ci = bench::RunExperiment(
-        model.value(), stream, bench::PlanMode::kContextIndependent, accel);
+        model.value(), stream, bench::PlanMode::kContextIndependent, accel, 1,
+        3, 0.2, sink.enabled() ? &ci_report : nullptr);
+    sink.Add("windows=" + std::to_string(count) + "/ca", ca_report);
+    sink.Add("windows=" + std::to_string(count) + "/ci", ci_report);
     double suspendable = 1.0 - WindowCoverage(config);
     table.Row({bench::FmtInt(count),
                bench::Fmt(100.0 * suspendable, 0) + "%",
@@ -51,6 +58,7 @@ int Main(int argc, char** argv) {
                bench::Fmt(ci.max_latency / ca.max_latency, 1),
                bench::Fmt(ci.cpu_seconds / ca.cpu_seconds, 1)});
   }
+  sink.Write();
   return 0;
 }
 

@@ -28,7 +28,9 @@ int Main(int argc, char** argv) {
   int num_windows = static_cast<int>(flags.Int("windows", 2));
   int events_per_tick = static_cast<int>(flags.Int("events_per_tick", 3));
   double accel = flags.Double("accel", 600.0);
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig13_distribution", metrics_out);
 
   bench::Banner("Context window distribution",
                 "Fig. 13: max latency over #queries for start-skewed / "
@@ -50,13 +52,19 @@ int Main(int argc, char** argv) {
       EventBatch stream = GenerateSyntheticStream(config, &registry);
       auto model = MakeSyntheticModel(config, &registry);
       CAESAR_CHECK_OK(model.status());
+      StatisticsReport report;
       RunStats stats = bench::RunExperiment(
-          model.value(), stream, bench::PlanMode::kOptimized, accel);
+          model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3,
+          0.2, sink.enabled() ? &report : nullptr);
+      sink.Add("queries=" + std::to_string(queries) +
+                   "/placement=" + std::to_string(placement),
+               report);
       latency[placement + 1] = stats.max_latency;
     }
     table.Row({bench::FmtInt(queries), bench::Fmt(latency[0]),
                bench::Fmt(latency[1]), bench::Fmt(latency[2])});
   }
+  sink.Write();
   return 0;
 }
 

@@ -22,7 +22,9 @@ int Main(int argc, char** argv) {
   int events_per_tick = static_cast<int>(flags.Int("events_per_tick", 3));
   int max_windows = static_cast<int>(flags.Int("max_windows", 45));
   double accel = flags.Double("accel", 2000.0);
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig14a_overlap_count", metrics_out);
 
   bench::Banner("Sharing across overlapping context windows",
                 "Fig. 14(a): max latency, shared vs non-shared, over the "
@@ -41,10 +43,16 @@ int Main(int argc, char** argv) {
     EventBatch stream = GenerateSyntheticStream(config, &registry);
     auto model = MakeSyntheticModel(config, &registry);
     CAESAR_CHECK_OK(model.status());
-    RunStats shared = bench::RunExperiment(model.value(), stream,
-                                           bench::PlanMode::kOptimized, accel);
+    StatisticsReport shared_report, nonshared_report;
+    RunStats shared = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3, 0.2,
+        sink.enabled() ? &shared_report : nullptr);
     RunStats nonshared = bench::RunExperiment(
-        model.value(), stream, bench::PlanMode::kNonShared, accel);
+        model.value(), stream, bench::PlanMode::kNonShared, accel, 1, 3, 0.2,
+        sink.enabled() ? &nonshared_report : nullptr);
+    sink.Add("windows=" + std::to_string(count) + "/shared", shared_report);
+    sink.Add("windows=" + std::to_string(count) + "/nonshared",
+             nonshared_report);
     table.Row({bench::FmtInt(count), bench::Fmt(shared.max_latency),
                bench::Fmt(nonshared.max_latency),
                bench::Fmt(nonshared.max_latency / shared.max_latency, 1),
@@ -52,6 +60,7 @@ int Main(int argc, char** argv) {
                bench::FmtInt(static_cast<int64_t>(shared.ops_executed)),
                bench::FmtInt(static_cast<int64_t>(nonshared.ops_executed))});
   }
+  sink.Write();
   return 0;
 }
 

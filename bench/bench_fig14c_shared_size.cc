@@ -17,8 +17,8 @@ namespace caesar {
 namespace {
 
 void RunProfile(const std::string& label, int partitions, int events_per_tick,
-                int windows, Timestamp length, Timestamp overlap,
-                double accel) {
+                int windows, Timestamp length, Timestamp overlap, double accel,
+                bench::MetricsSink* sink) {
   std::printf("--- %s profile ---\n", label.c_str());
   bench::Table table(
       {"queries", "shared_s", "nonshared_s", "gain", "cpu_gain", "sh_ops", "ns_ops"});
@@ -35,10 +35,17 @@ void RunProfile(const std::string& label, int partitions, int events_per_tick,
     EventBatch stream = GenerateSyntheticStream(config, &registry);
     auto model = MakeSyntheticModel(config, &registry);
     CAESAR_CHECK_OK(model.status());
-    RunStats shared = bench::RunExperiment(model.value(), stream,
-                                           bench::PlanMode::kOptimized, accel);
+    StatisticsReport shared_report, nonshared_report;
+    RunStats shared = bench::RunExperiment(
+        model.value(), stream, bench::PlanMode::kOptimized, accel, 1, 3, 0.2,
+        sink->enabled() ? &shared_report : nullptr);
     RunStats nonshared = bench::RunExperiment(
-        model.value(), stream, bench::PlanMode::kNonShared, accel);
+        model.value(), stream, bench::PlanMode::kNonShared, accel, 1, 3, 0.2,
+        sink->enabled() ? &nonshared_report : nullptr);
+    sink->Add(label + "/queries=" + std::to_string(queries) + "/shared",
+              shared_report);
+    sink->Add(label + "/queries=" + std::to_string(queries) + "/nonshared",
+              nonshared_report);
     table.Row({bench::FmtInt(queries), bench::Fmt(shared.max_latency),
                bench::Fmt(nonshared.max_latency),
                bench::Fmt(nonshared.max_latency / shared.max_latency, 1),
@@ -55,17 +62,20 @@ int Main(int argc, char** argv) {
   Timestamp length = flags.Int("win_len", 150);
   Timestamp overlap = flags.Int("overlap", 100);
   double accel = flags.Double("accel", 2000.0);
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_fig14c_shared_size", metrics_out);
 
   bench::Banner("Varying the shared workload size",
                 "Fig. 14(c): max latency, shared vs non-shared, over the "
                 "number of shareable queries per window; paper: ~9x at 10 "
                 "(LR), similar trend on PAM");
 
-  RunProfile("Linear-Road-like", /*partitions=*/2, /*events_per_tick=*/2,
-             windows, length, overlap, accel);
-  RunProfile("PAM-like", /*partitions=*/6, /*events_per_tick=*/1, windows,
-             length, overlap, accel);
+  RunProfile("lr", /*partitions=*/2, /*events_per_tick=*/2, windows, length,
+             overlap, accel, &sink);
+  RunProfile("pam", /*partitions=*/6, /*events_per_tick=*/1, windows, length,
+             overlap, accel, &sink);
+  sink.Write();
   return 0;
 }
 

@@ -24,11 +24,16 @@ struct Sample {
 };
 
 Sample Replay(const ExecutablePlan& plan, const EventBatch& stream,
-              IngestPolicy policy, Timestamp slack) {
+              IngestPolicy policy, Timestamp slack,
+              StatisticsReport* report_out) {
   EngineOptions options;
   options.collect_outputs = false;
   options.ingest_policy = policy;
   options.reorder_slack = slack;
+  if (report_out != nullptr) {
+    options.gather_statistics = true;
+    options.metrics = MetricsGranularity::kOperator;
+  }
   Engine engine(plan.Clone(), options);
   Stopwatch watch;
   Sample sample;
@@ -36,6 +41,7 @@ Sample Replay(const ExecutablePlan& plan, const EventBatch& stream,
   CAESAR_CHECK_OK(run.status());
   sample.stats = run.value();
   sample.seconds = watch.ElapsedSeconds();
+  if (report_out != nullptr) *report_out = engine.CollectStatistics();
   return sample;
 }
 
@@ -45,7 +51,9 @@ int Main(int argc, char** argv) {
   Timestamp duration = flags.Int("duration", 900);
   Timestamp max_delay = flags.Int("max_delay", 4);
   uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+  bench::MetricsSink sink("bench_ingest_reorder", metrics_out);
 
   bench::Banner("Ingest policies: strict vs drop vs reorder",
                 "graceful-degradation overhead of the bounded reorder "
@@ -81,8 +89,10 @@ int Main(int argc, char** argv) {
   bench::Table table({"policy/stream", "events", "kev_s", "derived",
                       "reordered", "dropped", "quarantined"});
   for (const Leg& leg : legs) {
-    Sample sample =
-        Replay(plan.value(), *leg.stream, leg.policy, leg.slack);
+    StatisticsReport report;
+    Sample sample = Replay(plan.value(), *leg.stream, leg.policy, leg.slack,
+                           sink.enabled() ? &report : nullptr);
+    sink.Add(leg.label, report);
     double kev_s = sample.seconds > 0.0
                        ? static_cast<double>(sample.stats.input_events) /
                              sample.seconds / 1e3
@@ -93,6 +103,7 @@ int Main(int argc, char** argv) {
                bench::FmtInt(sample.stats.events_dropped_late),
                bench::FmtInt(sample.stats.events_quarantined)});
   }
+  sink.Write();
   return 0;
 }
 

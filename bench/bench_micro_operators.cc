@@ -7,6 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+
+#include "bench_util.h"
 
 #include "algebra/aggregate_op.h"
 #include "algebra/basic_ops.h"
@@ -201,4 +204,28 @@ BENCHMARK(BM_ExpressionEval);
 }  // namespace
 }  // namespace caesar
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off --metrics-out before
+// google-benchmark sees the (unrecognized) flag. The micro-benchmarks call
+// operators directly without an Engine, so the emitted metrics file carries
+// an empty runs array — schema-valid, like bench_fig11a_optimizer.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--metrics-out=";
+    if (arg.rfind(prefix, 0) == 0) {
+      metrics_out = arg.substr(prefix.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  caesar::bench::MetricsSink sink("bench_micro_operators", metrics_out);
+  sink.Write();
+  return 0;
+}

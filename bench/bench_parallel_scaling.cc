@@ -31,7 +31,20 @@ int Main(int argc, char** argv) {
   int repetitions = static_cast<int>(flags.Int("repetitions", 2));
   double accel = flags.Double("accel", 1000.0);
   uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+  std::string metrics_name = flags.Str("metrics", "off");
+  std::string metrics_out = flags.Str("metrics-out", "");
   flags.Validate();
+
+  // --metrics=off|engine|operator: telemetry granularity of the measured
+  // engines, for quantifying the observability overhead (run off vs
+  // operator and compare wall_s).
+  MetricsGranularity granularity;
+  if (!ParseMetricsGranularity(metrics_name, &granularity)) {
+    std::fprintf(stderr, "unknown --metrics granularity: %s\n",
+                 metrics_name.c_str());
+    return 2;
+  }
+  bench::MetricsSink sink("bench_parallel_scaling", metrics_out);
 
   bench::Banner(
       "Parallel scaling: persistent sharded executor",
@@ -62,9 +75,12 @@ int Main(int argc, char** argv) {
     options.accel = accel;
     options.num_threads = threads;
     options.collect_outputs = false;
+    options.metrics = granularity;
+    StatisticsReport report;
     RunStats stats = bench::RunExperimentWithOptions(
         model.value(), stream, bench::PlanMode::kOptimized, options,
-        repetitions);
+        repetitions, 0.2, sink.enabled() ? &report : nullptr);
+    sink.Add("threads=" + std::to_string(threads), report);
     if (threads == 1) {
       serial_seconds = stats.cpu_seconds;
       serial_derived = stats.derived_events;
@@ -86,6 +102,7 @@ int Main(int argc, char** argv) {
                bench::FmtInt(stats.shard_imbalance),
                bench::Fmt(stats.barrier_wait_seconds)});
   }
+  sink.Write();
   return 0;
 }
 

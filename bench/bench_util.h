@@ -9,9 +9,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "runtime/observability.h"
+#include "runtime/statistics.h"
 
 namespace caesar {
 namespace bench {
@@ -52,6 +57,14 @@ class Flags {
     return std::stod(it->second);
   }
 
+  std::string Str(const std::string& name, const std::string& default_value) {
+    defaults_[name] = default_value.empty() ? "\"\"" : default_value;
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    used_.insert(*it);
+    return it->second;
+  }
+
   // Call after reading all flags: rejects unknown ones.
   void Validate() const {
     bool bad = false;
@@ -74,6 +87,69 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::map<std::string, std::string> defaults_;
   std::map<std::string, std::string> used_;
+};
+
+// Collects one StatisticsReport per benchmark run (a table row / series
+// point) and writes them as one JSON file for the --metrics-out flag:
+//   {"benchmark": "...", "schema_version": 1,
+//    "runs": [{"label": "...", "report": {...}}, ...]}
+// Inactive (all methods no-ops) when constructed with an empty path, so
+// benches can call it unconditionally.
+class MetricsSink {
+ public:
+  MetricsSink(std::string benchmark, std::string path)
+      : benchmark_(std::move(benchmark)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& label, const StatisticsReport& report) {
+    if (!enabled()) return;
+    runs_.emplace_back(label, StatisticsToJson(report));
+  }
+
+  // Writes the collected runs; aborts on I/O failure (a benchmark whose
+  // requested output cannot be written should not look like a success).
+  void Write() const {
+    if (!enabled()) return;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --metrics-out file %s\n",
+                   path_.c_str());
+      std::exit(1);
+    }
+    out << "{\"benchmark\":\"" << EscapeJson(benchmark_)
+        << "\",\"schema_version\":1,\"runs\":[";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"label\":\"" << EscapeJson(runs_[i].first)
+          << "\",\"report\":" << runs_[i].second << "}";
+    }
+    out << "]}\n";
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "failed writing --metrics-out file %s\n",
+                   path_.c_str());
+      std::exit(1);
+    }
+    std::printf("metrics written to %s (%zu runs)\n", path_.c_str(),
+                runs_.size());
+  }
+
+ private:
+  static std::string EscapeJson(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are flat
+      out += c;
+    }
+    return out;
+  }
+
+  std::string benchmark_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> runs_;  // label, json
 };
 
 // Fixed-width table printer.

@@ -36,9 +36,12 @@ double EstimatePlanCostCalibrated(const ExecutablePlan& plan,
         auto it = observed.find({query.name, static_cast<int>(o)});
         double unit_cost = op.UnitCost();
         double selectivity = op.Selectivity();
-        if (it != observed.end() && it->second->input_events > 0) {
-          unit_cost = it->second->ObservedUnitCost();
-          selectivity = it->second->ObservedSelectivity();
+        // A row without data (operator never saw input — e.g. its context
+        // never activated) has no observed selectivity; keep the static
+        // estimate instead of mistaking "never ran" for "pass-through".
+        if (it != observed.end() && it->second->has_data()) {
+          unit_cost = *it->second->ObservedUnitCost();
+          selectivity = *it->second->ObservedSelectivity();
         }
         cost += rate * unit_cost;
         rate *= selectivity;

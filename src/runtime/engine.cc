@@ -125,10 +125,25 @@ struct Engine::QueryState {
     TransitionState transition;
   };
 
+  // Slim per-partition operator counters (one cache line for a whole
+  // chain). The per-invocation histograms live in the engine's per-worker
+  // shards (op_histograms_), not here: with hundreds of partitions the
+  // 1.6 KiB of buckets per operator would blow the cache on every
+  // transaction.
+  struct OpCounters {
+    uint64_t invocations = 0;
+    uint64_t input_events = 0;
+    uint64_t output_events = 0;
+    uint64_t work_units = 0;
+  };
+
   const CompiledQuery* spec = nullptr;  // shape reference (not executed)
   Gate gate;                            // precomputed from the spec
   OpChain chain;                        // private operator instances
-  std::vector<OperatorStats> op_stats;  // per chain op (when gathering)
+  std::vector<OpCounters> op_stats;     // per chain op (when gathering)
+  // First row of this query's ops in the plan-order (query, op) row space
+  // shared by op_histograms_ and CollectStatistics.
+  size_t stats_row_base = 0;
   std::vector<GuardInstance> guards;
   // Query-private context vector (context-independent baseline only).
   std::unique_ptr<ContextBitVector> private_contexts;
@@ -138,6 +153,10 @@ struct Engine::QueryState {
 
 struct Engine::PartitionState {
   uint64_t key = 0;
+  // Metrics shard of the worker owning this partition (key % workers;
+  // 0 in serial mode). Fixed at creation — the pool's shard assignment
+  // never changes over the engine's lifetime.
+  int shard = 0;
   std::unique_ptr<ContextBitVector> contexts;
   std::vector<QueryState> deriving;
   std::vector<QueryState> processing;
@@ -182,6 +201,11 @@ Status EngineOptions::Validate() const {
         "EngineOptions::gc_horizon must be >= 0, got " +
         std::to_string(gc_horizon));
   }
+  if (timeline_capacity < 1) {
+    return Status::InvalidArgument(
+        "EngineOptions::timeline_capacity must be >= 1, got " +
+        std::to_string(timeline_capacity));
+  }
   return Status::Ok();
 }
 
@@ -210,9 +234,42 @@ Engine::Engine(ExecutablePlan plan, EngineOptions options)
   if (options_.num_threads > 1) {
     executor_ = std::make_unique<ShardedExecutor>(options_.num_threads);
   }
+  if (options_.metrics >= MetricsGranularity::kEngine) {
+    // One shard per worker; serial mode records into shard 0.
+    registry_ = std::make_unique<MetricsRegistry>(options_.num_threads);
+    ctr_transactions_ = registry_->AddCounter(
+        "transactions", "Stream transactions (partition x time stamp)");
+    ctr_input_events_ = registry_->AddCounter(
+        "transaction_input_events", "Events entering stream transactions");
+    ctr_derived_events_ = registry_->AddCounter(
+        "transaction_derived_events", "Events derived by stream transactions");
+    hist_transaction_events_ = registry_->AddHistogram(
+        "transaction_events", "Input events per stream transaction");
+    hist_transaction_derived_ = registry_->AddHistogram(
+        "transaction_derived", "Derived events per stream transaction");
+    timeline_ = std::make_unique<Timeline>(options_.timeline_capacity);
+  }
+  if (options_.metrics >= MetricsGranularity::kOperator) {
+    size_t rows = 0;
+    for (const auto* queries : {&plan_.deriving, &plan_.processing}) {
+      for (const CompiledQuery& query : *queries) rows += query.chain.ops.size();
+    }
+    op_histograms_.assign(static_cast<size_t>(options_.num_threads),
+                          std::vector<OperatorHistograms>(rows));
+  }
+  if (options_.tracing) {
+    trace_ = std::make_unique<TraceRecorder>();
+  }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (trace_ != nullptr && !options_.trace_path.empty()) {
+    Status status = trace_->WriteJson(options_.trace_path);
+    if (!status.ok()) {
+      CAESAR_LOG_WARNING << "failed to write trace: " << status.ToString();
+    }
+  }
+}
 
 int Engine::num_partitions() const {
   return static_cast<int>(partitions_.size());
@@ -229,8 +286,14 @@ Engine::PartitionState* Engine::GetOrCreatePartition(uint64_t key) {
 
   auto partition = std::make_unique<PartitionState>();
   partition->key = key;
+  partition->shard =
+      executor_ != nullptr
+          ? static_cast<int>(key %
+                             static_cast<uint64_t>(executor_->num_workers()))
+          : 0;
   partition->contexts = std::make_unique<ContextBitVector>(
       std::max(plan_.num_contexts, 1), std::max(plan_.default_context, 0));
+  size_t stats_row = 0;
   auto instantiate = [&](const std::vector<CompiledQuery>& specs,
                          std::vector<QueryState>* states) {
     states->reserve(specs.size());
@@ -239,7 +302,13 @@ Engine::PartitionState* Engine::GetOrCreatePartition(uint64_t key) {
       state.spec = &spec;
       state.gate = GateOf(spec.contexts, spec.anchors);
       state.chain = spec.chain.Clone();
-      if (options_.gather_statistics) {
+      state.stats_row_base = stats_row;
+      stats_row += state.chain.ops.size();
+      // At kOperator granularity the per-worker histogram shards subsume
+      // the counters (invocations = count, events/work = sums), so the
+      // per-partition counter rows exist only on the counters-only path.
+      if (options_.gather_statistics &&
+          options_.metrics < MetricsGranularity::kOperator) {
         state.op_stats.resize(state.chain.ops.size());
       }
       for (const OpChain& guard : spec.guards) {
@@ -406,10 +475,21 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
   RunStats stats;
   stats.input_events = static_cast<int64_t>(raw_input.size());
   const IngestMetrics ingest_before = ingest_metrics_;
+  // Install the trace sink for the scheduler thread (no-op when null).
+  TraceScope trace_scope(trace_.get());
+  CAESAR_TRACE_SPAN("run");
+  const bool tick_telemetry = options_.metrics >= MetricsGranularity::kEngine;
   EventBatch admitted;
   const EventBatch* effective = nullptr;
-  CAESAR_RETURN_IF_ERROR(
-      IngestBatch(raw_input, &admitted, &effective, &stats));
+  {
+    CAESAR_TRACE_SPAN("ingest");
+    Stopwatch ingest_watch;
+    CAESAR_RETURN_IF_ERROR(
+        IngestBatch(raw_input, &admitted, &effective, &stats));
+    if (tick_telemetry) {
+      tick_metrics_.ingest_seconds.Add(ingest_watch.ElapsedSeconds());
+    }
+  }
   const EventBatch& input = *effective;
 
   RunningStats latency;
@@ -446,21 +526,39 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
       work.emplace_back(GetOrCreatePartition(key), &events);
       shard_scratch_.push_back(key);
     }
-    std::vector<EventBatch> derived(work.size());
-    if (executor_ == nullptr) {
-      for (size_t w = 0; w < work.size(); ++w) {
-        ProcessTransaction(work[w].first, t, *work[w].second, &derived[w]);
+    // Pre-dispatch telemetry baselines: context-vector versions (their
+    // per-tick delta = context switches) and cumulative chain counts.
+    int64_t executed_before = 0;
+    int64_t suspended_before = 0;
+    if (tick_telemetry) {
+      context_version_scratch_.clear();
+      for (auto& [partition, events] : work) {
+        context_version_scratch_.push_back(partition->contexts->version());
+        executed_before += partition->total_executed;
+        suspended_before += partition->total_suspended;
       }
-    } else {
-      // Every tick goes through the pool: a partition is always processed
-      // by the worker owning its shard (key % num_workers), so partition
-      // state is single-writer without locks.
-      executor_->ExecuteTick(work.size(), shard_scratch_.data(),
-                             [&](size_t w) {
-                               ProcessTransaction(work[w].first, t,
-                                                  *work[w].second,
-                                                  &derived[w]);
-                             });
+    }
+    std::vector<EventBatch> derived(work.size());
+    {
+      CAESAR_TRACE_SPAN("tick");
+      if (executor_ == nullptr) {
+        for (size_t w = 0; w < work.size(); ++w) {
+          CAESAR_TRACE_SPAN("transaction");
+          ProcessTransaction(work[w].first, t, *work[w].second, &derived[w]);
+        }
+      } else {
+        // Every tick goes through the pool: a partition is always processed
+        // by the worker owning its shard (key % num_workers), so partition
+        // state is single-writer without locks.
+        executor_->ExecuteTick(work.size(), shard_scratch_.data(),
+                               [&](size_t w) {
+                                 TraceScope worker_trace(trace_.get());
+                                 CAESAR_TRACE_SPAN("transaction");
+                                 ProcessTransaction(work[w].first, t,
+                                                    *work[w].second,
+                                                    &derived[w]);
+                               });
+      }
     }
     double dt = watch.ElapsedSeconds();
     stats.cpu_seconds += dt;
@@ -473,9 +571,11 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
 
     // Collect derived events (deterministic partition order).
     EventBatch tick_derived;
+    int64_t tick_derived_count = 0;
     for (EventBatch& batch : derived) {
       for (EventPtr& event : batch) {
         ++stats.derived_events;
+        ++tick_derived_count;
         ++stats.derived_by_type[plan_.registry->type(event->type_id()).name];
         if (options_.collect_outputs && outputs != nullptr) {
           outputs->push_back(event);
@@ -485,10 +585,53 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
     }
     if (observer_) observer_(t, tick_derived);
 
+    // Per-tick telemetry: the deterministic histograms, the wall-clock
+    // stats, and one timeline point. The barrier ordered every worker
+    // write before this read.
+    if (tick_telemetry) {
+      ++tick_metrics_.ticks;
+      tick_metrics_.events_per_tick.Add(static_cast<uint64_t>(j - i));
+      tick_metrics_.partitions_per_tick.Add(
+          static_cast<uint64_t>(work.size()));
+      tick_metrics_.derived_per_tick.Add(
+          static_cast<uint64_t>(tick_derived_count));
+      int64_t context_switches = 0;
+      int64_t executed_after = 0;
+      int64_t suspended_after = 0;
+      for (size_t w = 0; w < work.size(); ++w) {
+        context_switches +=
+            static_cast<int64_t>(work[w].first->contexts->version() -
+                                 context_version_scratch_[w]);
+        executed_after += work[w].first->total_executed;
+        suspended_after += work[w].first->total_suspended;
+      }
+      tick_metrics_.context_switches_per_tick.Add(
+          static_cast<uint64_t>(context_switches));
+      tick_metrics_.scheduler_seconds.Add(dt);
+      // In parallel mode the scheduler spends the tick blocked on the
+      // pool's barrier, so dt is the per-tick barrier wait.
+      if (executor_ != nullptr) tick_metrics_.barrier_wait_seconds.Add(dt);
+      TimelinePoint point;
+      point.time = t;
+      point.input_events = static_cast<int64_t>(j - i);
+      point.derived_events = tick_derived_count;
+      point.partitions = static_cast<int64_t>(work.size());
+      point.executed_chains = executed_after - executed_before;
+      point.suspended_chains = suspended_after - suspended_before;
+      point.context_switches = context_switches;
+      timeline_->Push(point);
+    }
+
     // Periodic garbage collection of stale operator state.
     if (t - last_gc_ >= options_.gc_interval) {
       last_gc_ = t;
-      Timestamp horizon = t - options_.gc_horizon;
+      // Clamp: early in the stream (t < gc_horizon) the naive t - horizon
+      // underflows below the epoch; nothing can be older than time 0, so 0
+      // is the correct cut-off.
+      Timestamp horizon =
+          t >= options_.gc_horizon ? t - options_.gc_horizon : 0;
+      CAESAR_TRACE_SPAN("gc");
+      Stopwatch gc_watch;
       for (auto& [key, partition] : partitions_) {
         for (auto* states : {&partition->deriving, &partition->processing}) {
           for (QueryState& query : *states) {
@@ -498,6 +641,12 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
             }
           }
         }
+      }
+      if (tick_telemetry) {
+        ++tick_metrics_.gc_runs;
+        tick_metrics_.gc_horizon_min =
+            std::min(tick_metrics_.gc_horizon_min, horizon);
+        tick_metrics_.gc_pause_seconds.Add(gc_watch.ElapsedSeconds());
       }
     }
 
@@ -560,6 +709,18 @@ void Engine::ProcessTransaction(PartitionState* partition, Timestamp t,
       }
     }
   }
+
+  // Registry instruments: each partition records into the shard of the
+  // worker that owns it (serial mode records into shard 0), so counter
+  // slots are uncontended and histogram shards stay single-writer.
+  if (registry_ != nullptr) {
+    int shard = partition->shard;
+    ctr_transactions_->Add(shard, 1);
+    ctr_input_events_->Add(shard, static_cast<int64_t>(events.size()));
+    ctr_derived_events_->Add(shard, static_cast<int64_t>(derived->size()));
+    hist_transaction_events_->Add(shard, events.size());
+    hist_transaction_derived_->Add(shard, derived->size());
+  }
 }
 
 void Engine::RunQuery(PartitionState* partition, QueryState* query,
@@ -599,6 +760,15 @@ void Engine::RunQuery(PartitionState* partition, QueryState* query,
   // Main chain; an empty intermediate batch skips the rest of the chain —
   // with the context window pushed down this is the suspension of the whole
   // query during foreign contexts.
+  // Per-invocation distributions go into the owning worker's shard rows
+  // (hoisted pointer: one base computation per chain, not per op). Work
+  // units are the deterministic execution-time measure of the cost model —
+  // wall clock is tick-level telemetry. The slim counter rows are the
+  // counters-only (gather_statistics without kOperator) path.
+  OperatorHistograms* hist_rows =
+      op_histograms_.empty()
+          ? nullptr
+          : op_histograms_[partition->shard].data() + query->stats_row_base;
   EventBatch ping, pong;
   const EventBatch* current = &pool;
   bool suspended_at_bottom = false;
@@ -606,8 +776,13 @@ void Engine::RunQuery(PartitionState* partition, QueryState* query,
     pong.clear();
     uint64_t work_before = partition->ops_counter;
     query->chain.ops[o]->Process(*current, &pong, &ctx);
-    if (!query->op_stats.empty()) {
-      OperatorStats& op_stats = query->op_stats[o];
+    if (hist_rows != nullptr) {
+      OperatorHistograms& hist = hist_rows[o];
+      hist.input_batch.Add(current->size());
+      hist.output_batch.Add(pong.size());
+      hist.work_per_invocation.Add(partition->ops_counter - work_before);
+    } else if (!query->op_stats.empty()) {
+      QueryState::OpCounters& op_stats = query->op_stats[o];
       ++op_stats.invocations;
       op_stats.input_events += current->size();
       op_stats.output_events += pong.size();
@@ -639,28 +814,40 @@ void Engine::RunQuery(PartitionState* partition, QueryState* query,
 
 StatisticsReport Engine::CollectStatistics() const {
   StatisticsReport report;
+  report.granularity = options_.metrics;
   if (executor_ != nullptr) {
     report.executor_workers = executor_->num_workers();
     report.executor = executor_->metrics();
   }
   report.ingest = ingest_metrics_;
+  if (options_.metrics >= MetricsGranularity::kEngine) {
+    report.ticks = tick_metrics_;
+    report.timeline = timeline_->Snapshot();
+    report.timeline_dropped = timeline_->dropped();
+    report.counters = registry_->SnapshotCounters();
+    report.histograms = registry_->SnapshotHistograms();
+  }
   for (int r = 0; r < kNumQuarantineReasons; ++r) {
     report.quarantine_by_reason[r] =
         quarantine_.count(static_cast<QuarantineReason>(r));
   }
   report.quarantine_by_partition = quarantine_.by_partition();
   // Aggregate by (phase position, op index) across partitions; the plan's
-  // query order is identical in every partition.
+  // query order is identical in every partition. Rows exist whenever the
+  // per-operator path is active (counters-only or histogram granularity).
+  const bool per_op_rows = options_.gather_statistics ||
+                           options_.metrics >= MetricsGranularity::kOperator;
   int64_t suspended = 0;
   int64_t executed = 0;
   bool first_partition = true;
   for (const auto& [key, partition] : partitions_) {
     suspended += partition->total_suspended;
     executed += partition->total_executed;
+    if (!per_op_rows) continue;
     size_t row = 0;
     for (const auto* states : {&partition->deriving, &partition->processing}) {
       for (const QueryState& query : *states) {
-        for (size_t o = 0; o < query.op_stats.size(); ++o) {
+        for (size_t o = 0; o < query.chain.ops.size(); ++o) {
           if (first_partition) {
             QueryOperatorStats entry;
             entry.query = query.spec->name;
@@ -669,12 +856,39 @@ StatisticsReport Engine::CollectStatistics() const {
             entry.description = query.chain.ops[o]->DebugString();
             report.operators.push_back(std::move(entry));
           }
-          report.operators[row].stats.Merge(query.op_stats[o]);
+          if (!query.op_stats.empty()) {
+            OperatorStats& stats = report.operators[row].stats;
+            stats.invocations += query.op_stats[o].invocations;
+            stats.input_events += query.op_stats[o].input_events;
+            stats.output_events += query.op_stats[o].output_events;
+            stats.work_units += query.op_stats[o].work_units;
+          }
           ++row;
         }
       }
     }
     first_partition = false;
+  }
+  // Fold the per-worker histogram shards into the rows. Index-wise merge is
+  // commutative addition, so the totals do not depend on the shard count or
+  // the partition-to-worker assignment. The histograms subsume the counters
+  // at this granularity: every invocation added once to each distribution,
+  // so count/sums are exactly the invocation/event/work totals.
+  for (const std::vector<OperatorHistograms>& shard : op_histograms_) {
+    for (size_t r = 0; r < shard.size() && r < report.operators.size(); ++r) {
+      OperatorStats& stats = report.operators[r].stats;
+      stats.input_batch.Merge(shard[r].input_batch);
+      stats.output_batch.Merge(shard[r].output_batch);
+      stats.work_per_invocation.Merge(shard[r].work_per_invocation);
+    }
+  }
+  if (!op_histograms_.empty()) {
+    for (QueryOperatorStats& row : report.operators) {
+      row.stats.invocations = static_cast<uint64_t>(row.stats.input_batch.count());
+      row.stats.input_events = row.stats.input_batch.sum();
+      row.stats.output_events = row.stats.output_batch.sum();
+      row.stats.work_units = row.stats.work_per_invocation.sum();
+    }
   }
   if (suspended + executed > 0) {
     report.observed_context_activity =

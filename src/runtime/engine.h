@@ -73,6 +73,25 @@ struct EngineOptions {
   // small per-operator bookkeeping cost. Snapshot via CollectStatistics().
   bool gather_statistics = false;
 
+  // Telemetry granularity (runtime/observability.h): kEngine records tick
+  // metrics, the activity timeline, and the sharded registry counters;
+  // kOperator additionally records per-operator histograms (implies the
+  // per-operator statistics path). kOff costs nothing on the hot path.
+  MetricsGranularity metrics = MetricsGranularity::kOff;
+
+  // Record trace spans (scheduler ticks, ingest, GC, per-partition
+  // transactions) into a Chrome trace_event-format recorder, exposed via
+  // Engine::trace(). Independent of `metrics`.
+  bool tracing = false;
+
+  // When non-empty and tracing is on, the engine writes the trace JSON
+  // here on destruction.
+  std::string trace_path;
+
+  // Ring-buffer capacity of the activity timeline (points = ticks; older
+  // points are dropped but stay counted). Must be >= 1.
+  size_t timeline_capacity = 512;
+
   // How Run treats disorder and malformed events (see runtime/ingest.h):
   // kStrict rejects the batch with a Status, kDrop/kReorder degrade
   // gracefully and quarantine what cannot be processed.
@@ -87,7 +106,8 @@ struct EngineOptions {
   size_t quarantine_capacity = 1024;
 
   // Checks option invariants (num_threads >= 1, reorder_slack >= 0, accel
-  // and seconds_per_tick positive, gc_interval >= 1, gc_horizon >= 0).
+  // and seconds_per_tick positive, gc_interval >= 1, gc_horizon >= 0,
+  // timeline_capacity >= 1).
   // Returned (not aborted) so callers can surface configuration errors;
   // Engine::Create is the validating construction path.
   Status Validate() const;
@@ -196,6 +216,13 @@ class Engine {
   const QuarantineSink& quarantine() const { return quarantine_; }
   const IngestMetrics& ingest_metrics() const { return ingest_metrics_; }
 
+  // The trace recorder; null unless EngineOptions::tracing. Snapshot or
+  // WriteJson between Run calls.
+  const TraceRecorder* trace() const { return trace_.get(); }
+
+  // The metrics registry; null unless EngineOptions::metrics >= kEngine.
+  const MetricsRegistry* metrics_registry() const { return registry_.get(); }
+
  private:
   struct PartitionState;
   struct QueryState;
@@ -262,6 +289,35 @@ class Engine {
   // Virtual clock state (persists across Run calls).
   double vclock_completion_ = 0.0;
   Timestamp last_gc_ = 0;
+
+  // Observability (all null/empty when metrics == kOff and !tracing).
+  // Registry instruments are registered once in the constructor; the raw
+  // pointers below are the hot-path handles (stable for the engine's
+  // lifetime). Shard index = the worker owning the partition.
+  std::unique_ptr<MetricsRegistry> registry_;
+  ShardedCounter* ctr_transactions_ = nullptr;
+  ShardedCounter* ctr_input_events_ = nullptr;
+  ShardedCounter* ctr_derived_events_ = nullptr;
+  ShardedHistogram* hist_transaction_events_ = nullptr;
+  ShardedHistogram* hist_transaction_derived_ = nullptr;
+  // Per-operator distributions at MetricsGranularity::kOperator, sharded
+  // per worker: op_histograms_[shard] holds one entry per (query, op) row
+  // in plan order, written only by the worker owning the shard (the same
+  // ownership rule as the registry instruments above). Keeps the hot-path
+  // footprint per worker cache-resident instead of per partition, and the
+  // index-wise merge in CollectStatistics is commutative, so the totals
+  // are thread-count-independent.
+  struct OperatorHistograms {
+    Pow2Histogram input_batch;
+    Pow2Histogram output_batch;
+    Pow2Histogram work_per_invocation;
+  };
+  std::vector<std::vector<OperatorHistograms>> op_histograms_;
+  TickMetrics tick_metrics_;
+  std::unique_ptr<Timeline> timeline_;
+  std::unique_ptr<TraceRecorder> trace_;
+  // Scratch: per-tick context-vector versions before dispatch.
+  std::vector<uint64_t> context_version_scratch_;
 };
 
 }  // namespace caesar

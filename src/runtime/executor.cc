@@ -54,6 +54,7 @@ void ShardedExecutor::ExecuteTick(size_t count, const uint64_t* shards,
 
   ++metrics_.ticks;
   metrics_.tasks += count;
+  metrics_.tasks_per_tick.Add(count);
   metrics_.imbalance += max_load - min_load;
   metrics_.barrier_wait.Add(wait.ElapsedSeconds());
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "runtime/observability.h"
 
 namespace caesar {
 
@@ -42,6 +43,9 @@ struct ExecutorMetrics {
   uint64_t ticks = 0;
   // Tasks (partition transactions) dispatched over all ticks.
   uint64_t tasks = 0;
+  // Distribution of tasks per tick (count == ticks); deterministic, unlike
+  // barrier_wait.
+  Pow2Histogram tasks_per_tick;
   // Shard imbalance: sum over ticks of (max - min) tasks assigned to any
   // worker. 0 = perfectly even; large values mean the partition-key
   // distribution starves some workers.

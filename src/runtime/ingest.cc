@@ -44,7 +44,8 @@ void QuarantineSink::Add(EventPtr event, QuarantineReason reason,
 
 bool ReorderBuffer::Push(EventPtr event, EventBatch* released) {
   Timestamp t = event->time();
-  if (any_seen_ && t < watermark()) return false;
+  // kNoWatermark before the first admission: nothing is late yet.
+  if (t < watermark()) return false;
   if (any_released_ && t < last_released_) return false;
   if (!any_seen_ || t > max_seen_) {
     any_seen_ = true;

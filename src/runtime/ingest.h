@@ -35,6 +35,7 @@
 #define CAESAR_RUNTIME_INGEST_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -129,9 +130,18 @@ class ReorderBuffer {
   // Highest admitted time stamp; meaningful once any_seen().
   Timestamp max_seen() const { return max_seen_; }
   bool any_seen() const { return any_seen_; }
+
+  // watermark() before any admission: no cut-off exists yet, so nothing is
+  // late. The sentinel compares below every valid time stamp (including 0)
+  // instead of the garbage `0 - slack_` the naive formula would yield.
+  static constexpr Timestamp kNoWatermark =
+      std::numeric_limits<Timestamp>::min();
+
   // Admission cut-off: events with time() < watermark are late beyond the
-  // slack. Meaningful once any_seen().
-  Timestamp watermark() const { return max_seen_ - slack_; }
+  // slack; kNoWatermark until the first admission.
+  Timestamp watermark() const {
+    return any_seen_ ? max_seen_ - slack_ : kNoWatermark;
+  }
   Timestamp slack() const { return slack_; }
 
   size_t buffered() const { return heap_.size(); }

@@ -1,0 +1,778 @@
+#include "runtime/observability.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "runtime/statistics.h"
+
+namespace caesar {
+
+const char* MetricsGranularityName(MetricsGranularity granularity) {
+  switch (granularity) {
+    case MetricsGranularity::kOff:
+      return "off";
+    case MetricsGranularity::kEngine:
+      return "engine";
+    case MetricsGranularity::kOperator:
+      return "operator";
+  }
+  return "?";
+}
+
+bool ParseMetricsGranularity(const std::string& name,
+                             MetricsGranularity* granularity) {
+  if (name == "off") {
+    *granularity = MetricsGranularity::kOff;
+  } else if (name == "engine") {
+    *granularity = MetricsGranularity::kEngine;
+  } else if (name == "operator") {
+    *granularity = MetricsGranularity::kOperator;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+uint64_t Pow2Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count_ - 1));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Clamp to the observed maximum: the top bucket's upper bound can be
+      // far above anything actually recorded.
+      uint64_t bound = BucketUpperBound(i);
+      return bound < max_ ? bound : max_;
+    }
+  }
+  return max_;
+}
+
+std::string Pow2Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " max=" << max_;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (i <= 1) {
+      os << " " << BucketLowerBound(i) << "=" << buckets_[i];
+    } else {
+      os << " [" << BucketLowerBound(i) << "," << (BucketUpperBound(i) + 1)
+         << ")=" << buckets_[i];
+    }
+  }
+  return os.str();
+}
+
+ShardedCounter::ShardedCounter(int num_shards)
+    : num_shards_(num_shards), slots_(new Slot[num_shards]) {
+  CAESAR_CHECK_GE(num_shards, 1);
+}
+
+int64_t ShardedCounter::Total() const {
+  int64_t total = 0;
+  for (int i = 0; i < num_shards_; ++i) {
+    total += slots_[i].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ShardedHistogram::ShardedHistogram(int num_shards)
+    : num_shards_(num_shards), shards_(new Shard[num_shards]) {
+  CAESAR_CHECK_GE(num_shards, 1);
+}
+
+Pow2Histogram ShardedHistogram::Merged() const {
+  Pow2Histogram merged;
+  for (int i = 0; i < num_shards_; ++i) merged.Merge(shards_[i].histogram);
+  return merged;
+}
+
+MetricsRegistry::MetricsRegistry(int num_shards) : num_shards_(num_shards) {
+  CAESAR_CHECK_GE(num_shards, 1);
+}
+
+ShardedCounter* MetricsRegistry::AddCounter(const std::string& name,
+                                            const std::string& help) {
+  auto& entry = counters_[name];
+  if (entry.instrument == nullptr) {
+    entry.help = help;
+    entry.instrument = std::make_unique<ShardedCounter>(num_shards_);
+  }
+  return entry.instrument.get();
+}
+
+ShardedHistogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                                const std::string& help) {
+  auto& entry = histograms_[name];
+  if (entry.instrument == nullptr) {
+    entry.help = help;
+    entry.instrument = std::make_unique<ShardedHistogram>(num_shards_);
+  }
+  return entry.instrument.get();
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::SnapshotCounters() const {
+  std::vector<CounterSnapshot> snapshots;
+  snapshots.reserve(counters_.size());
+  for (const auto& [name, entry] : counters_) {
+    CounterSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.help = entry.help;
+    snapshot.per_shard.reserve(num_shards_);
+    for (int i = 0; i < num_shards_; ++i) {
+      snapshot.per_shard.push_back(entry.instrument->shard_value(i));
+      snapshot.total += snapshot.per_shard.back();
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistograms() const {
+  std::vector<HistogramSnapshot> snapshots;
+  snapshots.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    snapshots.push_back({name, entry.help, entry.instrument->Merged()});
+  }
+  return snapshots;
+}
+
+void TickMetrics::Merge(const TickMetrics& other) {
+  ticks += other.ticks;
+  gc_runs += other.gc_runs;
+  if (other.gc_horizon_min < gc_horizon_min) {
+    gc_horizon_min = other.gc_horizon_min;
+  }
+  events_per_tick.Merge(other.events_per_tick);
+  partitions_per_tick.Merge(other.partitions_per_tick);
+  derived_per_tick.Merge(other.derived_per_tick);
+  context_switches_per_tick.Merge(other.context_switches_per_tick);
+  scheduler_seconds.Merge(other.scheduler_seconds);
+  ingest_seconds.Merge(other.ingest_seconds);
+  gc_pause_seconds.Merge(other.gc_pause_seconds);
+  barrier_wait_seconds.Merge(other.barrier_wait_seconds);
+}
+
+Timeline::Timeline(size_t capacity) : capacity_(capacity) {
+  CAESAR_CHECK_GE(capacity, 1u);
+}
+
+void Timeline::Push(const TimelinePoint& point) {
+  if (points_.size() < capacity_) {
+    points_.push_back(point);
+  } else {
+    points_[next_] = point;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_pushed_;
+}
+
+size_t Timeline::size() const { return points_.size(); }
+
+std::vector<TimelinePoint> Timeline::Snapshot() const {
+  std::vector<TimelinePoint> snapshot;
+  snapshot.reserve(points_.size());
+  // Once the ring wrapped, next_ is the oldest retained point.
+  size_t start = points_.size() < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    snapshot.push_back(points_[(start + i) % points_.size()]);
+  }
+  return snapshot;
+}
+
+// --------------------------------------------------------------------------
+// Trace spans
+// --------------------------------------------------------------------------
+
+namespace {
+
+thread_local TraceRecorder* g_current_trace = nullptr;
+
+// Small process-unique thread ids so trace viewers render one lane per
+// thread instead of raw pthread handles.
+uint32_t CurrentTraceTid() {
+  static std::atomic<uint32_t> next_tid{0};
+  thread_local uint32_t tid = next_tid.fetch_add(1) + 1;
+  return tid;
+}
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(SteadyNowNanos()) {}
+
+int64_t TraceRecorder::NowMicros() const {
+  return (SteadyNowNanos() - epoch_ns_) / 1000;
+}
+
+void TraceRecorder::Record(const char* name, int64_t start_us,
+                           int64_t duration_us) {
+  uint32_t tid = CurrentTraceTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back({name, start_us, duration_us, tid});
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceRecorder::Span> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+namespace {
+
+// RFC 8259 string escaping shared by the trace and statistics exporters.
+void AppendJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (const char* p = s; *p != '\0'; ++p) {
+    unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << *p;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<Span> spans = Snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    AppendJsonString(os, span.name);
+    os << ",\"cat\":\"caesar\",\"ph\":\"X\",\"ts\":" << span.start_us
+       << ",\"dur\":" << span.duration_us << ",\"pid\":0,\"tid\":" << span.tid
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  out << ToJson();
+  out.close();
+  if (!out) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+TraceRecorder* TraceRecorder::Current() { return g_current_trace; }
+
+void TraceRecorder::SetCurrent(TraceRecorder* recorder) {
+  g_current_trace = recorder;
+}
+
+TraceScope::TraceScope(TraceRecorder* recorder)
+    : previous_(TraceRecorder::Current()) {
+  TraceRecorder::SetCurrent(recorder);
+}
+
+TraceScope::~TraceScope() { TraceRecorder::SetCurrent(previous_); }
+
+// --------------------------------------------------------------------------
+// Exporters
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Minimal JSON writer. Key order is fixed by call order, numbers use "%.9g"
+// for doubles (same double -> same text, so deterministic inputs stay
+// byte-identical), and strings are escaped per RFC 8259.
+class JsonWriter {
+ public:
+  std::string Take() { return std::move(os_).str(); }
+
+  void BeginObject() { Punctuate("{"); }
+  void EndObject() {
+    os_ << "}";
+    pending_comma_ = true;
+  }
+  void BeginArray() { Punctuate("["); }
+  void EndArray() {
+    os_ << "]";
+    pending_comma_ = true;
+  }
+
+  void Key(const char* name) {
+    Punctuate("");
+    AppendString(name);
+    os_ << ":";
+  }
+
+  void Value(int64_t v) {
+    Punctuate("");
+    os_ << v;
+    pending_comma_ = true;
+  }
+  void Value(uint64_t v) {
+    Punctuate("");
+    os_ << v;
+    pending_comma_ = true;
+  }
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(double v) {
+    Punctuate("");
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+    os_ << buffer;
+    pending_comma_ = true;
+  }
+  void Value(const std::string& v) {
+    Punctuate("");
+    AppendString(v.c_str());
+    pending_comma_ = true;
+  }
+  void Value(const char* v) {
+    Punctuate("");
+    AppendString(v);
+    pending_comma_ = true;
+  }
+  void Null() {
+    Punctuate("");
+    os_ << "null";
+    pending_comma_ = true;
+  }
+
+  template <typename T>
+  void Field(const char* name, T v) {
+    Key(name);
+    Value(v);
+  }
+
+ private:
+  void Punctuate(const char* open) {
+    if (pending_comma_) os_ << ",";
+    os_ << open;
+    pending_comma_ = false;
+  }
+
+  void AppendString(const char* s) { AppendJsonString(os_, s); }
+
+  std::ostringstream os_;
+  bool pending_comma_ = false;
+};
+
+void WriteHistogramJson(JsonWriter* json, const char* name,
+                        const Pow2Histogram& histogram) {
+  json->Key(name);
+  json->BeginObject();
+  json->Field("count", histogram.count());
+  json->Field("sum", histogram.sum());
+  json->Field("max", histogram.max());
+  json->Key("buckets");
+  json->BeginArray();
+  for (int i = 0; i < Pow2Histogram::kNumBuckets; ++i) {
+    if (histogram.bucket(i) == 0) continue;
+    json->BeginArray();
+    json->Value(Pow2Histogram::BucketLowerBound(i));
+    json->Value(histogram.bucket(i));
+    json->EndArray();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+void WriteRunningStatsJson(JsonWriter* json, const char* name,
+                           const RunningStats& stats) {
+  json->Key(name);
+  json->BeginObject();
+  json->Field("count", stats.count());
+  json->Field("sum", stats.sum());
+  json->Field("mean", stats.mean());
+  json->Field("min", stats.min());
+  json->Field("max", stats.max());
+  json->EndObject();
+}
+
+// Prometheus label-value escaping (backslash, quote, newline).
+std::string PromEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Emits a Prometheus histogram: cumulative `le` buckets (upper bounds
+// inclusive, only non-empty buckets plus +Inf), _sum, and _count.
+void WritePromHistogram(std::ostringstream& os, const std::string& metric,
+                        const std::string& labels,
+                        const Pow2Histogram& histogram) {
+  std::string label_prefix = labels.empty() ? "" : labels + ",";
+  os << "# TYPE " << metric << " histogram\n";
+  int64_t cumulative = 0;
+  for (int i = 0; i < Pow2Histogram::kNumBuckets; ++i) {
+    if (histogram.bucket(i) == 0) continue;
+    cumulative += histogram.bucket(i);
+    os << metric << "_bucket{" << label_prefix << "le=\""
+       << Pow2Histogram::BucketUpperBound(i) << "\"} " << cumulative << "\n";
+  }
+  os << metric << "_bucket{" << label_prefix << "le=\"+Inf\"} "
+     << histogram.count() << "\n";
+  os << metric << "_sum" << (labels.empty() ? "" : "{" + labels + "}") << " "
+     << histogram.sum() << "\n";
+  os << metric << "_count" << (labels.empty() ? "" : "{" + labels + "}") << " "
+     << histogram.count() << "\n";
+}
+
+std::string FmtDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string StatisticsToJson(const StatisticsReport& report,
+                             const ExportOptions& options) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("schema_version", int64_t{1});
+  json.Field("granularity", MetricsGranularityName(report.granularity));
+  json.Field("deterministic", options.deterministic ? "true" : "false");
+  json.Field("observed_context_activity", report.observed_context_activity);
+
+  json.Key("ingest");
+  json.BeginObject();
+  json.Field("admitted", report.ingest.admitted);
+  json.Field("reordered", report.ingest.reordered);
+  json.Field("dropped_late", report.ingest.dropped_late);
+  json.Field("quarantined", report.ingest.quarantined);
+  json.Field("max_observed_lateness", report.ingest.max_observed_lateness);
+  json.Field("quarantine_rate", report.quarantine_rate());
+  json.Field("reorder_rate", report.reorder_rate());
+  json.Key("quarantine_by_reason");
+  json.BeginObject();
+  for (int r = 0; r < kNumQuarantineReasons; ++r) {
+    json.Field(QuarantineReasonName(static_cast<QuarantineReason>(r)),
+               report.quarantine_by_reason[r]);
+  }
+  json.EndObject();
+  json.Key("quarantine_by_partition");
+  json.BeginArray();
+  for (const auto& [key, count] : report.quarantine_by_partition) {
+    json.BeginArray();
+    json.Value(key);
+    json.Value(count);
+    json.EndArray();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  if (report.granularity >= MetricsGranularity::kEngine) {
+    json.Key("ticks");
+    json.BeginObject();
+    json.Field("ticks", report.ticks.ticks);
+    json.Field("gc_runs", report.ticks.gc_runs);
+    json.Key("gc_horizon_min");
+    if (report.ticks.gc_runs > 0) {
+      json.Value(report.ticks.gc_horizon_min);
+    } else {
+      json.Null();
+    }
+    WriteHistogramJson(&json, "events_per_tick", report.ticks.events_per_tick);
+    WriteHistogramJson(&json, "partitions_per_tick",
+                       report.ticks.partitions_per_tick);
+    WriteHistogramJson(&json, "derived_per_tick",
+                       report.ticks.derived_per_tick);
+    WriteHistogramJson(&json, "context_switches_per_tick",
+                       report.ticks.context_switches_per_tick);
+    if (!options.deterministic) {
+      WriteRunningStatsJson(&json, "scheduler_seconds",
+                            report.ticks.scheduler_seconds);
+      WriteRunningStatsJson(&json, "ingest_seconds",
+                            report.ticks.ingest_seconds);
+      WriteRunningStatsJson(&json, "gc_pause_seconds",
+                            report.ticks.gc_pause_seconds);
+      WriteRunningStatsJson(&json, "barrier_wait_seconds",
+                            report.ticks.barrier_wait_seconds);
+    }
+    json.EndObject();
+
+    json.Key("timeline");
+    json.BeginObject();
+    json.Field("dropped", report.timeline_dropped);
+    json.Key("points");
+    json.BeginArray();
+    for (const TimelinePoint& point : report.timeline) {
+      json.BeginObject();
+      json.Field("t", point.time);
+      json.Field("events", point.input_events);
+      json.Field("derived", point.derived_events);
+      json.Field("partitions", point.partitions);
+      json.Field("executed_chains", point.executed_chains);
+      json.Field("suspended_chains", point.suspended_chains);
+      json.Field("context_switches", point.context_switches);
+      json.Field("activity", point.activity());
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+
+    json.Key("counters");
+    json.BeginArray();
+    for (const CounterSnapshot& counter : report.counters) {
+      json.BeginObject();
+      json.Field("name", counter.name);
+      json.Field("help", counter.help);
+      json.Field("total", counter.total);
+      if (!options.deterministic) {
+        json.Key("per_shard");
+        json.BeginArray();
+        for (int64_t v : counter.per_shard) json.Value(v);
+        json.EndArray();
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+
+    json.Key("histograms");
+    json.BeginArray();
+    for (const HistogramSnapshot& histogram : report.histograms) {
+      json.BeginObject();
+      json.Field("name", histogram.name);
+      json.Field("help", histogram.help);
+      WriteHistogramJson(&json, "histogram", histogram.merged);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+
+  json.Key("operators");
+  json.BeginArray();
+  for (const QueryOperatorStats& row : report.operators) {
+    json.BeginObject();
+    json.Field("query", row.query);
+    json.Field("op", row.op_index);
+    json.Field("kind", OperatorKindName(row.kind));
+    json.Field("description", row.description);
+    json.Field("invocations", row.stats.invocations);
+    json.Field("input_events", row.stats.input_events);
+    json.Field("output_events", row.stats.output_events);
+    json.Field("work_units", row.stats.work_units);
+    json.Key("selectivity");
+    if (auto selectivity = row.stats.ObservedSelectivity()) {
+      json.Value(*selectivity);
+    } else {
+      json.Null();
+    }
+    json.Key("unit_cost");
+    if (auto unit_cost = row.stats.ObservedUnitCost()) {
+      json.Value(*unit_cost);
+    } else {
+      json.Null();
+    }
+    if (row.stats.work_per_invocation.count() > 0) {
+      WriteHistogramJson(&json, "input_batch", row.stats.input_batch);
+      WriteHistogramJson(&json, "output_batch", row.stats.output_batch);
+      WriteHistogramJson(&json, "work_per_invocation",
+                         row.stats.work_per_invocation);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  if (!options.deterministic && report.executor_workers > 0) {
+    json.Key("executor");
+    json.BeginObject();
+    json.Field("workers", report.executor_workers);
+    json.Field("ticks", static_cast<int64_t>(report.executor.ticks));
+    json.Field("tasks", static_cast<int64_t>(report.executor.tasks));
+    json.Field("imbalance", static_cast<int64_t>(report.executor.imbalance));
+    WriteRunningStatsJson(&json, "barrier_wait", report.executor.barrier_wait);
+    WriteHistogramJson(&json, "tasks_per_tick", report.executor.tasks_per_tick);
+    json.EndObject();
+  }
+
+  json.EndObject();
+  return json.Take();
+}
+
+std::string StatisticsToPrometheus(const StatisticsReport& report,
+                                   const ExportOptions& options) {
+  std::ostringstream os;
+  os << "# TYPE caesar_context_activity gauge\n";
+  os << "caesar_context_activity " << FmtDouble(report.observed_context_activity)
+     << "\n";
+
+  os << "# TYPE caesar_ingest_events_total counter\n";
+  os << "caesar_ingest_events_total{state=\"admitted\"} "
+     << report.ingest.admitted << "\n";
+  os << "caesar_ingest_events_total{state=\"reordered\"} "
+     << report.ingest.reordered << "\n";
+  os << "caesar_ingest_events_total{state=\"dropped_late\"} "
+     << report.ingest.dropped_late << "\n";
+  os << "caesar_ingest_events_total{state=\"quarantined\"} "
+     << report.ingest.quarantined << "\n";
+  os << "# TYPE caesar_ingest_max_lateness_ticks gauge\n";
+  os << "caesar_ingest_max_lateness_ticks "
+     << report.ingest.max_observed_lateness << "\n";
+  os << "# TYPE caesar_quarantine_rate gauge\n";
+  os << "caesar_quarantine_rate " << FmtDouble(report.quarantine_rate())
+     << "\n";
+  os << "# TYPE caesar_reorder_rate gauge\n";
+  os << "caesar_reorder_rate " << FmtDouble(report.reorder_rate()) << "\n";
+  os << "# TYPE caesar_quarantine_total counter\n";
+  for (int r = 0; r < kNumQuarantineReasons; ++r) {
+    os << "caesar_quarantine_total{reason=\""
+       << QuarantineReasonName(static_cast<QuarantineReason>(r)) << "\"} "
+       << report.quarantine_by_reason[r] << "\n";
+  }
+
+  if (report.granularity >= MetricsGranularity::kEngine) {
+    os << "# TYPE caesar_ticks_total counter\n";
+    os << "caesar_ticks_total " << report.ticks.ticks << "\n";
+    os << "# TYPE caesar_gc_runs_total counter\n";
+    os << "caesar_gc_runs_total " << report.ticks.gc_runs << "\n";
+    WritePromHistogram(os, "caesar_tick_events", "",
+                       report.ticks.events_per_tick);
+    WritePromHistogram(os, "caesar_tick_partitions", "",
+                       report.ticks.partitions_per_tick);
+    WritePromHistogram(os, "caesar_tick_derived", "",
+                       report.ticks.derived_per_tick);
+    WritePromHistogram(os, "caesar_tick_context_switches", "",
+                       report.ticks.context_switches_per_tick);
+    if (!options.deterministic) {
+      os << "# TYPE caesar_scheduler_seconds_sum counter\n";
+      os << "caesar_scheduler_seconds_sum "
+         << FmtDouble(report.ticks.scheduler_seconds.sum()) << "\n";
+      os << "# TYPE caesar_ingest_seconds_sum counter\n";
+      os << "caesar_ingest_seconds_sum "
+         << FmtDouble(report.ticks.ingest_seconds.sum()) << "\n";
+      os << "# TYPE caesar_gc_pause_seconds_sum counter\n";
+      os << "caesar_gc_pause_seconds_sum "
+         << FmtDouble(report.ticks.gc_pause_seconds.sum()) << "\n";
+    }
+    for (const CounterSnapshot& counter : report.counters) {
+      os << "# HELP caesar_" << counter.name << "_total "
+         << PromEscape(counter.help) << "\n";
+      os << "# TYPE caesar_" << counter.name << "_total counter\n";
+      os << "caesar_" << counter.name << "_total " << counter.total << "\n";
+      if (!options.deterministic) {
+        for (size_t shard = 0; shard < counter.per_shard.size(); ++shard) {
+          os << "caesar_" << counter.name << "_per_worker_total{worker=\""
+             << shard << "\"} " << counter.per_shard[shard] << "\n";
+        }
+      }
+    }
+    for (const HistogramSnapshot& histogram : report.histograms) {
+      os << "# HELP caesar_" << histogram.name << " "
+         << PromEscape(histogram.help) << "\n";
+      WritePromHistogram(os, "caesar_" + histogram.name, "",
+                         histogram.merged);
+    }
+  }
+
+  bool first_op_row = true;
+  for (const QueryOperatorStats& row : report.operators) {
+    if (first_op_row) {
+      os << "# TYPE caesar_op_input_events_total counter\n"
+         << "# TYPE caesar_op_output_events_total counter\n"
+         << "# TYPE caesar_op_work_units_total counter\n"
+         << "# TYPE caesar_op_invocations_total counter\n";
+      first_op_row = false;
+    }
+    std::string labels = "query=\"" + PromEscape(row.query) + "\",op=\"" +
+                         std::to_string(row.op_index) + "\",kind=\"" +
+                         OperatorKindName(row.kind) + "\"";
+    os << "caesar_op_invocations_total{" << labels << "} "
+       << row.stats.invocations << "\n";
+    os << "caesar_op_input_events_total{" << labels << "} "
+       << row.stats.input_events << "\n";
+    os << "caesar_op_output_events_total{" << labels << "} "
+       << row.stats.output_events << "\n";
+    os << "caesar_op_work_units_total{" << labels << "} "
+       << row.stats.work_units << "\n";
+    if (auto selectivity = row.stats.ObservedSelectivity()) {
+      os << "caesar_op_selectivity{" << labels << "} "
+         << FmtDouble(*selectivity) << "\n";
+    }
+    if (row.stats.work_per_invocation.count() > 0) {
+      WritePromHistogram(os, "caesar_op_work_per_invocation", labels,
+                         row.stats.work_per_invocation);
+      WritePromHistogram(os, "caesar_op_input_batch", labels,
+                         row.stats.input_batch);
+      WritePromHistogram(os, "caesar_op_output_batch", labels,
+                         row.stats.output_batch);
+    }
+  }
+
+  if (!options.deterministic && report.executor_workers > 0) {
+    os << "# TYPE caesar_executor_workers gauge\n";
+    os << "caesar_executor_workers " << report.executor_workers << "\n";
+    os << "# TYPE caesar_executor_ticks_total counter\n";
+    os << "caesar_executor_ticks_total " << report.executor.ticks << "\n";
+    os << "# TYPE caesar_executor_tasks_total counter\n";
+    os << "caesar_executor_tasks_total " << report.executor.tasks << "\n";
+    os << "# TYPE caesar_executor_imbalance_total counter\n";
+    os << "caesar_executor_imbalance_total " << report.executor.imbalance
+       << "\n";
+    os << "# TYPE caesar_executor_barrier_wait_seconds_sum counter\n";
+    os << "caesar_executor_barrier_wait_seconds_sum "
+       << FmtDouble(report.executor.barrier_wait.sum()) << "\n";
+  }
+
+  return os.str();
+}
+
+}  // namespace caesar

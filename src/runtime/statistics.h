@@ -1,22 +1,26 @@
 // Statistics gatherer (the optimization-layer component of Fig. 8).
 //
 // When enabled, the engine records per-operator runtime statistics —
-// invocations, input/output event counts, work units — aggregated across
-// all partitions. The observed selectivities and the observed context
-// activity calibrate the cost model (optimizer/cost_model.h), closing the
-// paper's loop between the statistics gatherer and the optimizer.
+// invocations, input/output event counts, work units, and (at
+// MetricsGranularity::kOperator) per-invocation power-of-2 histograms —
+// aggregated across all partitions. The observed selectivities and the
+// observed context activity calibrate the cost model
+// (optimizer/cost_model.h), closing the paper's loop between the
+// statistics gatherer and the optimizer.
 
 #ifndef CAESAR_RUNTIME_STATISTICS_H_
 #define CAESAR_RUNTIME_STATISTICS_H_
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algebra/operator.h"
 #include "runtime/executor.h"
 #include "runtime/ingest.h"
+#include "runtime/observability.h"
 
 namespace caesar {
 
@@ -27,20 +31,31 @@ struct OperatorStats {
   uint64_t output_events = 0;
   uint64_t work_units = 0;
 
-  // Observed output/input ratio; falls back to 1.0 with no input.
-  double ObservedSelectivity() const {
-    return input_events == 0
-               ? 1.0
-               : static_cast<double>(output_events) /
-                     static_cast<double>(input_events);
+  // Per-invocation distributions (recorded at MetricsGranularity::kOperator;
+  // empty otherwise). Work units are the deterministic execution-time
+  // measure of the cost model — wall clock is recorded at tick level.
+  Pow2Histogram input_batch;
+  Pow2Histogram output_batch;
+  Pow2Histogram work_per_invocation;
+
+  // True once this operator has observed any input. An operator that never
+  // ran (e.g. its context never activated) has no observable selectivity or
+  // unit cost; callers must not treat it like a measured pass-through.
+  bool has_data() const { return input_events > 0; }
+
+  // Observed output/input ratio; nullopt without data (a never-invoked
+  // operator is *not* a measured selectivity-1.0 operator).
+  std::optional<double> ObservedSelectivity() const {
+    if (!has_data()) return std::nullopt;
+    return static_cast<double>(output_events) /
+           static_cast<double>(input_events);
   }
 
-  // Observed work units per input event.
-  double ObservedUnitCost() const {
-    return input_events == 0
-               ? 0.0
-               : static_cast<double>(work_units) /
-                     static_cast<double>(input_events);
+  // Observed work units per input event; nullopt without data.
+  std::optional<double> ObservedUnitCost() const {
+    if (!has_data()) return std::nullopt;
+    return static_cast<double>(work_units) /
+           static_cast<double>(input_events);
   }
 
   void Merge(const OperatorStats& other) {
@@ -48,6 +63,9 @@ struct OperatorStats {
     input_events += other.input_events;
     output_events += other.output_events;
     work_units += other.work_units;
+    input_batch.Merge(other.input_batch);
+    output_batch.Merge(other.output_batch);
+    work_per_invocation.Merge(other.work_per_invocation);
   }
 };
 
@@ -62,6 +80,10 @@ struct QueryOperatorStats {
 
 // Full statistics snapshot.
 struct StatisticsReport {
+  // Granularity the engine recorded at; tick metrics, timeline, and
+  // registry snapshots below are meaningful only when != kOff.
+  MetricsGranularity granularity = MetricsGranularity::kOff;
+
   std::vector<QueryOperatorStats> operators;
   // Fraction of chain executions that actually ran (vs suspended); the
   // observed counterpart of CostModelParams::context_activity.
@@ -78,6 +100,23 @@ struct StatisticsReport {
   IngestMetrics ingest;
   int64_t quarantine_by_reason[kNumQuarantineReasons] = {};
   std::map<uint64_t, int64_t> quarantine_by_partition;
+
+  // Quarantine/reorder rates relative to the events offered to ingest
+  // (admitted + quarantined); 0 when nothing was offered.
+  double quarantine_rate() const;
+  double reorder_rate() const;
+
+  // Scheduler telemetry (MetricsGranularity >= kEngine).
+  TickMetrics ticks;
+
+  // Activity-over-time ring buffer snapshot (oldest first) and how many
+  // older points the bounded buffer already dropped.
+  std::vector<TimelinePoint> timeline;
+  int64_t timeline_dropped = 0;
+
+  // Registry snapshots (per-worker sharded counters/histograms), name-sorted.
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
 
   std::string ToString() const;
 };

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <deque>
 #include <memory>
 
@@ -107,6 +108,56 @@ QUERY narrow DERIVE A(r.value AS value) PATTERN Reading r WHERE r.value = 1;
   double calibrated = EstimatePlanCostCalibrated(plan_copy, report, params);
   double static_estimate = EstimatePlanCost(plan_copy, params);
   EXPECT_LT(calibrated, static_estimate);
+}
+
+TEST_F(CalibrationTest, OperatorsThatNeverRanKeepStaticEstimates) {
+  // Regression: an operator with zero observed input used to report a
+  // selectivity of 0 (0/0 collapsed to "drops everything"), so one run in
+  // which a context-gated query stayed suspended convinced the optimizer
+  // that query was free. Such rows now carry no observation (has_data()
+  // false) and the calibration skips them.
+  auto model = ParseModel(kMiniModel, &registry_);
+  CAESAR_CHECK_OK(model.status());
+  auto plan = TranslateModel(model.value(), PlanOptions());
+  CAESAR_CHECK_OK(plan.status());
+  ExecutablePlan plan_copy = plan.value().Clone();
+
+  EngineOptions options;
+  options.gather_statistics = true;
+  Engine engine(std::move(plan).value(), options);
+  // Values never exceed 10, so the `high` context never activates and the
+  // high-gated `alert` query stays suspended for the whole run: none of its
+  // operators is ever invoked.
+  EventBatch input;
+  for (Timestamp t = 0; t < 50; ++t) input.push_back(Reading(1, t % 10, t));
+  RunStats stats = engine.Run(input).value();
+  EXPECT_GT(stats.suspended_chains, 0);
+  StatisticsReport report = engine.CollectStatistics();
+
+  // The chain's gate (the context window at position 0) genuinely observes
+  // 50 in / 0 out — selectivity 0 is real data there. Everything behind the
+  // gate never ran and must report "no observation", not selectivity 0.
+  int dormant_rows = 0;
+  bool saw_live = false;
+  for (const QueryOperatorStats& row : report.operators) {
+    if (row.query == "alert" && row.kind != Operator::Kind::kContextWindow) {
+      ++dormant_rows;
+      EXPECT_EQ(row.stats.input_events, 0);
+      EXPECT_FALSE(row.stats.has_data());
+      EXPECT_FALSE(row.stats.ObservedSelectivity().has_value());
+      EXPECT_FALSE(row.stats.ObservedUnitCost().has_value());
+    }
+    if (row.query == "go_high" && row.stats.has_data()) saw_live = true;
+  }
+  EXPECT_GT(dormant_rows, 0);
+  EXPECT_TRUE(saw_live);
+
+  // The calibrated estimate stays finite and positive: the dormant query
+  // is costed from static defaults, not from a bogus zero selectivity.
+  CostModelParams params = CalibrateCostParams(report);
+  double calibrated = EstimatePlanCostCalibrated(plan_copy, report, params);
+  EXPECT_GT(calibrated, 0.0);
+  EXPECT_TRUE(std::isfinite(calibrated));
 }
 
 // Aggregate operator vs a brute-force sliding-window oracle.

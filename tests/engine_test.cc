@@ -14,6 +14,7 @@
 #include "plan/translator.h"
 #include "query/parser.h"
 #include "runtime/engine.h"
+#include "runtime/statistics.h"
 
 namespace caesar {
 namespace {
@@ -350,6 +351,42 @@ TEST_F(EngineTest, MultiThreadedMatchesSerial) {
   a.Run(input, &out_a).value();
   b.Run(input, &out_b).value();
   EXPECT_EQ(Canonical(out_a), Canonical(out_b));
+}
+
+TEST_F(EngineTest, GcHorizonClampsToZeroOnShortStreams) {
+  // Regression: with gc_interval=1 and gc_horizon larger than every input
+  // timestamp, the periodic GC used to compute `t - gc_horizon` on signed
+  // time and pass a *negative* horizon to ExpireBefore. The current
+  // operators treat a negative horizon like zero, so the bug was invisible
+  // in outputs — tick telemetry (gc_horizon_min) makes it observable: the
+  // clamped horizon must never go below 0.
+  CaesarModel model = Parse(kMiniModel);
+  auto plan = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EngineOptions options;
+  options.gc_interval = 1;
+  options.gc_horizon = 1000;  // > max(t): every tick's horizon clamps to 0
+  options.metrics = MetricsGranularity::kEngine;
+  Engine engine(std::move(plan).value(), options);
+
+  EventBatch input;
+  for (Timestamp t = 0; t < 20; ++t) input.push_back(Reading(1, 20, t));
+  EventBatch outputs;
+  RunStats stats = engine.Run(input, &outputs).value();
+  EXPECT_GT(stats.derived_events, 0);
+
+  StatisticsReport report = engine.CollectStatistics();
+  ASSERT_GT(report.ticks.gc_runs, 0);
+  EXPECT_GE(report.ticks.gc_horizon_min, 0);
+  EXPECT_EQ(report.ticks.gc_horizon_min, 0);
+
+  // And the aggressive-GC run still derives exactly what a GC-free run does.
+  auto plan_nogc = TranslateModel(model, PlanOptions());
+  ASSERT_TRUE(plan_nogc.ok());
+  Engine nogc(std::move(plan_nogc).value(), EngineOptions());
+  EventBatch outputs_nogc;
+  nogc.Run(input, &outputs_nogc).value();
+  EXPECT_EQ(Canonical(outputs), Canonical(outputs_nogc));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -57,6 +58,27 @@ TEST(ReorderBufferTest, SlackBoundaryIsInclusive) {
   EXPECT_EQ(buffer.buffered(), 1u);             // the reject buffered nothing
   EXPECT_EQ(buffer.max_seen(), 10);
   EXPECT_EQ(buffer.watermark(), 7);
+}
+
+TEST(ReorderBufferTest, WatermarkIsSentinelBeforeFirstAdmission) {
+  // Regression: before any admission the watermark used to read
+  // `max_seen_ - slack` off the zero-initialized max, i.e. a real-looking
+  // timestamp of -slack (or 0 with no slack). A stream legitimately
+  // starting at a negative or very small timestamp would have its first
+  // events misjudged as late. The sentinel says "no watermark yet".
+  ReorderBuffer buffer(/*slack=*/3);
+  EXPECT_EQ(buffer.watermark(), ReorderBuffer::kNoWatermark);
+  EXPECT_EQ(ReorderBuffer::kNoWatermark,
+            std::numeric_limits<Timestamp>::min());
+
+  // The very first event is never late, wherever the stream starts.
+  EventBatch released;
+  EXPECT_TRUE(buffer.Push(At(-100), &released));
+  EXPECT_EQ(buffer.watermark(), -103);
+  EXPECT_TRUE(buffer.Push(At(-102), &released));   // within slack
+  EXPECT_FALSE(buffer.Push(At(-104), &released));  // beyond slack
+  buffer.Flush(&released);
+  EXPECT_EQ(Times(released), (std::vector<Timestamp>{-102, -100}));
 }
 
 TEST(ReorderBufferTest, EqualTimesKeepArrivalOrder) {

@@ -13,6 +13,8 @@
 #include "optimizer/optimizer.h"
 #include "plan/translator.h"
 #include "runtime/engine.h"
+#include "runtime/observability.h"
+#include "runtime/statistics.h"
 #include "workloads/linear_road.h"
 #include "workloads/pamap.h"
 #include "workloads/synthetic.h"
@@ -24,16 +26,19 @@ struct RunResult {
   std::string derived;     // ToString of every output event, in order
   RunStats stats;
   std::string statistics;  // operator rows (executor line stripped)
+  std::string json;        // deterministic JSON export (byte-comparable)
 };
 
 // Drops report lines that legitimately differ between serial and parallel
-// runs (the executor snapshot).
+// runs (the executor snapshot and the wall-clock timing line of the tick
+// telemetry).
 std::string StripExecutorLines(const std::string& report) {
   std::istringstream in(report);
   std::ostringstream out;
   std::string line;
   while (std::getline(in, line)) {
     if (line.rfind("executor:", 0) == 0) continue;
+    if (line.find("scheduler_s ") != std::string::npos) continue;
     out << line << "\n";
   }
   return out.str();
@@ -45,6 +50,7 @@ RunResult RunWith(const ExecutablePlan& plan, const EventBatch& stream,
   EngineOptions options;
   options.num_threads = num_threads;
   options.gather_statistics = gather_statistics;
+  if (gather_statistics) options.metrics = MetricsGranularity::kOperator;
   Engine engine(plan.Clone(), options);
   EventBatch outputs;
   RunResult result;
@@ -55,7 +61,11 @@ RunResult RunWith(const ExecutablePlan& plan, const EventBatch& stream,
   }
   result.derived = os.str();
   if (gather_statistics) {
-    result.statistics = StripExecutorLines(engine.CollectStatistics().ToString());
+    StatisticsReport report = engine.CollectStatistics();
+    result.statistics = StripExecutorLines(report.ToString());
+    ExportOptions export_options;
+    export_options.deterministic = true;
+    result.json = StatisticsToJson(report, export_options);
   }
   return result;
 }
@@ -92,6 +102,9 @@ void ExpectParallelMatchesSerial(const ExecutablePlan& plan,
       EXPECT_EQ(serial.derived, parallel.derived);
       ExpectEqualCounters(serial.stats, parallel.stats, num_threads);
       EXPECT_EQ(serial.statistics, parallel.statistics);
+      // The deterministic JSON export must be byte-identical, full stop —
+      // histogram buckets, counter totals and timeline included.
+      EXPECT_EQ(serial.json, parallel.json);
       // The pool really ran: every tick was dispatched through it.
       EXPECT_GT(parallel.stats.parallel_ticks, 0);
       EXPECT_EQ(parallel.stats.parallel_tasks, parallel.stats.transactions);

@@ -77,9 +77,8 @@ TEST_F(RuntimeTest, StatisticsGathererRecordsPerOperatorCounts) {
                   ? 0u
                   : 0u);  // sanity: counters are consistent
     if (row.stats.input_events > 0) any_input = true;
-    if (row.kind == Operator::Kind::kFilter &&
-        row.stats.ObservedSelectivity() < 1.0 &&
-        row.stats.input_events > 0) {
+    if (row.kind == Operator::Kind::kFilter && row.stats.has_data() &&
+        *row.stats.ObservedSelectivity() < 1.0) {
       any_selective = true;
     }
   }

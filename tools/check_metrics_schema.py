@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validates the JSON emitted by the benches' --metrics-out flag.
+
+Stdlib only (runs in CI without installing anything). Checks the sink
+envelope {benchmark, schema_version, runs[]} and, for every run, the
+StatisticsReport JSON produced by StatisticsToJson: required keys, types,
+and internal consistency of the power-of-2 histogram blocks.
+
+Usage: check_metrics_schema.py FILE [FILE ...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_histogram(hist, where):
+    expect(isinstance(hist, dict), f"{where}: histogram must be an object")
+    for key in ("count", "sum", "max", "buckets"):
+        expect(key in hist, f"{where}: histogram missing '{key}'")
+    expect(isinstance(hist["buckets"], list), f"{where}: buckets must be a list")
+    total = 0
+    for entry in hist["buckets"]:
+        expect(
+            isinstance(entry, list) and len(entry) == 2,
+            f"{where}: each bucket is a [lower_bound, count] pair",
+        )
+        lower, count = entry
+        expect(
+            isinstance(lower, int) and isinstance(count, int) and count > 0,
+            f"{where}: bucket entries are positive integer counts",
+        )
+        total += count
+    expect(
+        total == hist["count"],
+        f"{where}: bucket counts sum to {total}, header says {hist['count']}",
+    )
+
+
+def check_report(report, where):
+    expect(isinstance(report, dict), f"{where}: report must be an object")
+    for key in ("schema_version", "granularity", "deterministic", "ingest",
+                "operators"):
+        expect(key in report, f"{where}: report missing '{key}'")
+    expect(
+        report["schema_version"] == SCHEMA_VERSION,
+        f"{where}: schema_version {report['schema_version']} != {SCHEMA_VERSION}",
+    )
+    expect(
+        report["granularity"] in ("off", "engine", "operator"),
+        f"{where}: unknown granularity {report['granularity']!r}",
+    )
+
+    ingest = report["ingest"]
+    for key in ("admitted", "reordered", "dropped_late", "quarantined",
+                "quarantine_rate", "reorder_rate"):
+        expect(key in ingest, f"{where}: ingest missing '{key}'")
+
+    expect(isinstance(report["operators"], list),
+           f"{where}: operators must be a list")
+    for i, op in enumerate(report["operators"]):
+        op_where = f"{where}: operators[{i}]"
+        for key in ("query", "op", "kind", "invocations", "input_events",
+                    "output_events", "selectivity", "unit_cost"):
+            expect(key in op, f"{op_where} missing '{key}'")
+        # Rows with no observed input carry null estimates, never 0/0.
+        if op["input_events"] == 0:
+            expect(op["selectivity"] is None,
+                   f"{op_where}: selectivity must be null with no input")
+            expect(op["unit_cost"] is None,
+                   f"{op_where}: unit_cost must be null with no input")
+        for hist_name in ("input_batch", "output_batch",
+                          "work_per_invocation"):
+            if hist_name in op:
+                check_histogram(op[hist_name], f"{op_where}.{hist_name}")
+
+    if "ticks" in report:
+        ticks = report["ticks"]
+        expect("ticks" in ticks, f"{where}: ticks missing 'ticks'")
+        expect("gc_runs" in ticks, f"{where}: ticks missing 'gc_runs'")
+        for name in ("events_per_tick", "partitions_per_tick",
+                     "derived_per_tick", "context_switches_per_tick"):
+            if name in ticks:
+                check_histogram(ticks[name], f"{where}: ticks.{name}")
+    if "histograms" in report:
+        expect(isinstance(report["histograms"], list),
+               f"{where}: histograms must be a list")
+        for entry in report["histograms"]:
+            expect("name" in entry and "histogram" in entry,
+                   f"{where}: histogram entries are {{name, help, histogram}}")
+            check_histogram(entry["histogram"],
+                            f"{where}: histograms[{entry['name']}]")
+    if "counters" in report:
+        expect(isinstance(report["counters"], list),
+               f"{where}: counters must be a list")
+        for entry in report["counters"]:
+            expect("name" in entry and "total" in entry,
+                   f"{where}: counter entries carry name and total")
+    if "timeline" in report:
+        timeline = report["timeline"]
+        expect(isinstance(timeline, dict), f"{where}: timeline is an object")
+        expect("points" in timeline and "dropped" in timeline,
+               f"{where}: timeline missing 'points'/'dropped'")
+        for j, point in enumerate(timeline["points"]):
+            for key in ("t", "events", "derived", "partitions",
+                        "executed_chains", "suspended_chains", "activity"):
+                expect(key in point,
+                       f"{where}: timeline.points[{j}] missing '{key}'")
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    expect(isinstance(doc, dict), "top level must be an object")
+    for key in ("benchmark", "schema_version", "runs"):
+        expect(key in doc, f"top level missing '{key}'")
+    expect(
+        doc["schema_version"] == SCHEMA_VERSION,
+        f"envelope schema_version {doc['schema_version']} != {SCHEMA_VERSION}",
+    )
+    expect(isinstance(doc["runs"], list), "'runs' must be a list")
+    for i, run in enumerate(doc["runs"]):
+        expect(isinstance(run, dict) and "label" in run and "report" in run,
+               f"runs[{i}] must be {{label, report}}")
+        check_report(run["report"], f"runs[{i}] ({run.get('label')})")
+    return len(doc["runs"])
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            runs = check_file(path)
+            print(f"{path}: OK ({runs} runs)")
+        except (SchemaError, OSError, json.JSONDecodeError) as error:
+            print(f"{path}: FAIL: {error}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
