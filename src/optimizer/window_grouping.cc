@@ -159,6 +159,16 @@ Result<CaesarModel> ApplyWindowGrouping(const CaesarModel& model) {
   // 1. Analyzable contexts (single-threshold bounds; see overlap_analysis).
   std::map<std::string, WindowBounds> groupable;
   for (WindowBounds& bounds : ExtractWindowBounds(model)) {
+    // A SWITCH-initiated context is not groupable: its initiating query is
+    // simultaneously the terminator of the switch's *source* context, which
+    // lies outside any overlap cluster (a switch chain makes the windows
+    // adjacent, not overlapping). Consuming that query into a synthesized
+    // group entry would silently drop the source's termination. The exit
+    // side is fine — a terminating SWITCH is re-emitted with its target
+    // kept — so switch sources remain groupable.
+    if (model.query(bounds.initiator_query).action == ContextAction::kSwitch) {
+      continue;
+    }
     std::string name = bounds.context;
     groupable.emplace(std::move(name), std::move(bounds));
   }
@@ -220,8 +230,18 @@ Result<CaesarModel> ApplyWindowGrouping(const CaesarModel& model) {
   // re-synthesized).
   std::set<int> consumed_queries;
 
+  // Pass 1: group every cluster and register the grouped contexts, so that
+  // `covering` is complete before any query is synthesized (a cluster's
+  // entry gate may reference contexts replaced by *another* cluster).
+  struct ClusterPlan {
+    std::vector<GroupedWindow> grouped;
+    std::map<double, int> bound_query;  // bound -> bound-defining query
+    std::map<double, std::vector<int>> switch_exits;
+  };
+  std::vector<ClusterPlan> plans;
   for (const auto& [root, members] : clusters) {
     if (members.size() < 2) continue;
+    ClusterPlan plan;
     std::vector<WindowSpec> specs;
     for (const std::string& member : members) {
       WindowSpec spec;
@@ -230,28 +250,77 @@ Result<CaesarModel> ApplyWindowGrouping(const CaesarModel& model) {
       spec.end_key = groupable[member].end_key;
       specs.push_back(std::move(spec));
     }
-    CAESAR_ASSIGN_OR_RETURN(std::vector<GroupedWindow> grouped,
+    CAESAR_ASSIGN_OR_RETURN(plan.grouped,
                             GroupContextWindows(std::move(specs)));
-    std::sort(grouped.begin(), grouped.end(),
+    std::sort(plan.grouped.begin(), plan.grouped.end(),
               [](const GroupedWindow& a, const GroupedWindow& b) {
                 return a.start_key < b.start_key;
               });
-    for (const GroupedWindow& window : grouped) {
+    for (const GroupedWindow& window : plan.grouped) {
       CAESAR_RETURN_IF_ERROR(rewritten.AddContext(window.name));
       for (const std::string& original : window.originals) {
         covering[original].push_back(window.name);
       }
     }
 
-    // Bound -> original bound-defining query.
-    std::map<double, int> bound_query;
     for (const std::string& member : members) {
       const WindowBounds& bounds = groupable[member];
-      bound_query[bounds.start_key] = bounds.initiator_query;
-      bound_query[bounds.end_key] = bounds.terminator_query;
+      plan.bound_query[bounds.start_key] = bounds.initiator_query;
+      plan.bound_query[bounds.end_key] = bounds.terminator_query;
       consumed_queries.insert(bounds.initiator_query);
       consumed_queries.insert(bounds.terminator_query);
     }
+
+    // Terminating SWITCH queries by end bound. Beyond deactivating its
+    // member, such a query initiates a context *outside* the cluster — a
+    // side effect the synthesized chain must preserve. The exit path below
+    // keeps the target only when the switch lands on the cluster's last
+    // bound; everywhere else a carry INITIATE is synthesized.
+    for (const std::string& member : members) {
+      const WindowBounds& bounds = groupable[member];
+      if (model.query(bounds.terminator_query).action ==
+          ContextAction::kSwitch) {
+        std::vector<int>& at = plan.switch_exits[bounds.end_key];
+        if (std::find(at.begin(), at.end(), bounds.terminator_query) ==
+            at.end()) {
+          at.push_back(bounds.terminator_query);
+        }
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Pass 2: synthesize the chain queries per cluster.
+  for (ClusterPlan& plan : plans) {
+    const std::vector<GroupedWindow>& grouped = plan.grouped;
+    std::map<double, int>& bound_query = plan.bound_query;
+    std::map<double, std::vector<int>>& switch_exits = plan.switch_exits;
+
+    // Carry INITIATEs for consumed terminating SWITCHes whose target
+    // activation the chain rewrite would otherwise drop. `gates` must
+    // contain a context that is active at the bound regardless of whether
+    // the chain transition for this bound was already applied to the
+    // current event (queries run in model order within a tick).
+    auto add_switch_carries =
+        [&](double bound, int copied_query,
+            std::vector<std::string> gates) -> Status {
+      auto it = switch_exits.find(bound);
+      if (it == switch_exits.end()) return Status::Ok();
+      for (int qi : it->second) {
+        const Query& sw = model.query(qi);
+        if (qi == copied_query) continue;  // target kept by the exit copy
+        if (covering.count(sw.target_context) > 0) continue;  // in-cluster
+        Query carry = sw;
+        carry.name = sw.name + "_carry";
+        carry.action = ContextAction::kInitiate;
+        carry.contexts = gates;
+        // The bound-defining copy at this bound already re-emits the
+        // query's DERIVE clause (if that copy is this very query).
+        if (qi == bound_query[bound]) carry.derive.reset();
+        CAESAR_RETURN_IF_ERROR(rewritten.AddQuery(std::move(carry)).status());
+      }
+      return Status::Ok();
+    };
 
     // Synthesize the new context deriving queries (Fig. 7 bottom).
     for (size_t w = 0; w < grouped.size(); ++w) {
@@ -283,11 +352,28 @@ Result<CaesarModel> ApplyWindowGrouping(const CaesarModel& model) {
           entry.contexts = {grouped[w - 1].name};
         }
         CAESAR_RETURN_IF_ERROR(rewritten.AddQuery(std::move(entry)).status());
+        if (w > 0) {
+          // A consumed SWITCH landing on this interior bound lost its
+          // target (the entry copy above was re-targeted at the chain), so
+          // every switch at this bound needs a carry. Gate on both chain
+          // neighbors: whichever side of the entry transition the current
+          // event sees, one of them is active.
+          CAESAR_RETURN_IF_ERROR(add_switch_carries(
+              window.start_key, /*copied_query=*/-1,
+              {grouped[w - 1].name, window.name}));
+        }
       }
       // Exit bound of the last window (interior exits are the next
       // window's entry switch).
       if (w + 1 == grouped.size()) {
         const Query& original = model.query(bound_query[window.end_key]);
+        // Carries first, while the window is still active for their gate.
+        CAESAR_RETURN_IF_ERROR(add_switch_carries(
+            window.end_key,
+            original.action == ContextAction::kSwitch
+                ? bound_query[window.end_key]
+                : -1,
+            {window.name}));
         Query exit = original;
         exit.name = "exit_" + window.name;
         exit.contexts = {window.name};

@@ -1,0 +1,609 @@
+#include "oracle/differential.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "optimizer/optimizer.h"
+#include "plan/translator.h"
+#include "runtime/engine.h"
+
+namespace caesar {
+namespace {
+
+constexpr const char* kShapeNames[] = {"plain", "push", "opt", "shared"};
+
+std::string DescribeDiff(const TickCanon& expected, const TickCanon& actual) {
+  std::set<Timestamp> ticks;
+  for (const auto& [t, lines] : expected) ticks.insert(t);
+  for (const auto& [t, lines] : actual) ticks.insert(t);
+  const std::multiset<std::string> empty;
+  for (Timestamp t : ticks) {
+    auto ei = expected.find(t);
+    auto ai = actual.find(t);
+    const auto& e = ei == expected.end() ? empty : ei->second;
+    const auto& a = ai == actual.end() ? empty : ai->second;
+    if (e == a) continue;
+    std::ostringstream os;
+    os << "first differing tick " << t << ": oracle derives " << e.size()
+       << " event(s), engine derives " << a.size();
+    std::vector<std::string> only_oracle, only_engine;
+    std::set_difference(e.begin(), e.end(), a.begin(), a.end(),
+                        std::back_inserter(only_oracle));
+    std::set_difference(a.begin(), a.end(), e.begin(), e.end(),
+                        std::back_inserter(only_engine));
+    int shown = 0;
+    for (const std::string& line : only_oracle) {
+      if (shown++ >= 3) {
+        os << "\n  oracle-only: ... (" << only_oracle.size() << " total)";
+        break;
+      }
+      os << "\n  oracle-only: " << line;
+    }
+    shown = 0;
+    for (const std::string& line : only_engine) {
+      if (shown++ >= 3) {
+        os << "\n  engine-only: ... (" << only_engine.size() << " total)";
+        break;
+      }
+      os << "\n  engine-only: " << line;
+    }
+    return os.str();
+  }
+  return "derived streams differ";
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = Trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> CompressRanges(
+    const std::vector<int64_t>& sorted) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (int64_t v : sorted) {
+    if (!out.empty() && v == out.back().second + 1) {
+      out.back().second = v;
+    } else {
+      out.emplace_back(v, v);
+    }
+  }
+  return out;
+}
+
+Status ApplyBug(const std::string& bug, OracleOptions* oracle) {
+  if (bug.empty()) return Status::Ok();
+  if (bug == "skip_negation") {
+    oracle->bug_skip_negation = true;
+  } else if (bug == "ignore_window_start") {
+    oracle->bug_ignore_window_start = true;
+  } else if (bug == "drop_having") {
+    oracle->bug_drop_having = true;
+  } else {
+    return Status::InvalidArgument("unknown oracle bug: " + bug);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EngineLeg::Name() const {
+  std::ostringstream os;
+  os << kShapeNames[plan_shape] << "/t" << threads << "/"
+     << (reorder ? "reorder" : "strict") << "/"
+     << (operator_metrics ? "m1" : "m0");
+  return os.str();
+}
+
+std::vector<EngineLeg> FullMatrix() {
+  std::vector<EngineLeg> legs;
+  for (int shape = 0; shape < 4; ++shape) {
+    for (int threads : {1, 2, 4, 8}) {
+      for (bool reorder : {false, true}) {
+        for (bool metrics : {false, true}) {
+          legs.push_back({shape, threads, reorder, metrics});
+        }
+      }
+    }
+  }
+  return legs;
+}
+
+std::vector<EngineLeg> QuickMatrix() {
+  return {
+      {0, 1, false, false}, {1, 2, false, false}, {2, 4, true, false},
+      {3, 8, true, true},   {1, 4, true, false},  {3, 1, false, true},
+      {2, 2, false, false}, {0, 8, true, false},
+  };
+}
+
+TickCanon CanonicalByTick(const EventBatch& events,
+                          const TypeRegistry& registry) {
+  TickCanon canon;
+  for (const EventPtr& event : events) {
+    canon[event->time()].insert(event->ToString(registry));
+  }
+  return canon;
+}
+
+Result<DivergenceReport> CompareCase(const CaesarModel& model,
+                                     const EventBatch& clean,
+                                     const EventBatch& disordered,
+                                     Timestamp reorder_slack,
+                                     const DifferentialOptions& options) {
+  // The oracle runs first so derived/composite types are interned in its
+  // registration order; the translations below then find them already
+  // present (identical schemas) and resolve single-pass.
+  CAESAR_ASSIGN_OR_RETURN(
+      EventBatch expected, RunReferenceModel(model, clean, options.oracle));
+  const TickCanon expected_canon =
+      CanonicalByTick(expected, *model.registry());
+
+  PlanOptions plain;
+  plain.push_down_context_windows = false;
+  plain.push_predicates_into_pattern = false;
+  plain.default_within = options.oracle.default_within;
+  PlanOptions pushed;
+  pushed.default_within = options.oracle.default_within;
+  OptimizerOptions opt;
+  opt.share_overlapping = false;
+  opt.default_within = options.oracle.default_within;
+  OptimizerOptions shared;
+  shared.default_within = options.oracle.default_within;
+
+  std::vector<ExecutablePlan> plans;
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan p0, TranslateModel(model, plain));
+  plans.push_back(std::move(p0));
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan p1, TranslateModel(model, pushed));
+  plans.push_back(std::move(p1));
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan p2, OptimizeModel(model, opt));
+  plans.push_back(std::move(p2));
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan p3, OptimizeModel(model, shared));
+  plans.push_back(std::move(p3));
+
+  DivergenceReport report;
+  const std::vector<EngineLeg> legs =
+      options.full_matrix ? FullMatrix() : QuickMatrix();
+  for (const EngineLeg& leg : legs) {
+    if (!options.only_leg.empty() && leg.Name() != options.only_leg) continue;
+    EngineOptions eo;
+    eo.num_threads = leg.threads;
+    eo.gc_interval = options.oracle.gc_interval;
+    eo.gc_horizon = options.oracle.gc_horizon;
+    eo.metrics = leg.operator_metrics ? MetricsGranularity::kOperator
+                                      : MetricsGranularity::kOff;
+    eo.ingest_policy =
+        leg.reorder ? IngestPolicy::kReorder : IngestPolicy::kStrict;
+    eo.reorder_slack = leg.reorder ? reorder_slack : 0;
+    CAESAR_ASSIGN_OR_RETURN(
+        std::unique_ptr<Engine> engine,
+        Engine::Create(plans[leg.plan_shape].Clone(), eo));
+    EventBatch derived;
+    auto run = engine->Run(leg.reorder ? disordered : clean, &derived);
+    if (!run.ok()) {
+      report.diverged = true;
+      report.leg = leg.Name();
+      report.detail = "engine Run failed: " + run.status().ToString();
+      return report;
+    }
+    const TickCanon actual_canon = CanonicalByTick(derived, *model.registry());
+    if (actual_canon != expected_canon) {
+      report.diverged = true;
+      report.leg = leg.Name();
+      report.detail = DescribeDiff(expected_canon, actual_canon);
+      return report;
+    }
+  }
+  return report;
+}
+
+std::string FormatRepro(const ReproSpec& spec) {
+  std::ostringstream os;
+  os << "# caesar differential repro; replay with"
+     << " tools/fuzz_differential --replay <this file>\n";
+  if (!spec.note.empty()) os << "# " << spec.note << "\n";
+  os << "seed = " << spec.seed << "\n";
+  os << "min_segments = " << spec.generator.min_segments << "\n";
+  os << "max_segments = " << spec.generator.max_segments << "\n";
+  os << "min_duration = " << spec.generator.min_duration << "\n";
+  os << "max_duration = " << spec.generator.max_duration << "\n";
+  os << "max_delay = " << spec.generator.max_delay << "\n";
+  os << "duplicate_rate = " << spec.generator.duplicate_rate << "\n";
+  os << "malformed_rate = " << spec.generator.malformed_rate << "\n";
+  os << "late_rate = " << spec.generator.late_rate << "\n";
+  os << "force_negation = " << (spec.generator.force_negation ? 1 : 0)
+     << "\n";
+  os << "leg = " << (spec.leg.empty() ? "*" : spec.leg) << "\n";
+  if (spec.queries.empty()) {
+    os << "queries = *\n";
+  } else {
+    os << "queries = ";
+    for (size_t i = 0; i < spec.queries.size(); ++i) {
+      if (i) os << ",";
+      os << spec.queries[i];
+    }
+    os << "\n";
+  }
+  if (spec.events.empty()) {
+    os << "events = *\n";
+  } else {
+    os << "events = ";
+    for (size_t i = 0; i < spec.events.size(); ++i) {
+      if (i) os << ",";
+      os << spec.events[i].first << "-" << spec.events[i].second;
+    }
+    os << "\n";
+  }
+  os << "expect = " << spec.expect << "\n";
+  if (!spec.bug.empty()) os << "bug = " << spec.bug << "\n";
+  return os.str();
+}
+
+Result<ReproSpec> ParseRepro(const std::string& text) {
+  ReproSpec spec;
+  std::stringstream ss(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("repro line " + std::to_string(lineno) +
+                                ": expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    try {
+      if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "min_segments") {
+        spec.generator.min_segments = static_cast<int>(std::stoll(value));
+      } else if (key == "max_segments") {
+        spec.generator.max_segments = static_cast<int>(std::stoll(value));
+      } else if (key == "min_duration") {
+        spec.generator.min_duration = std::stoll(value);
+      } else if (key == "max_duration") {
+        spec.generator.max_duration = std::stoll(value);
+      } else if (key == "max_delay") {
+        spec.generator.max_delay = std::stoll(value);
+      } else if (key == "duplicate_rate") {
+        spec.generator.duplicate_rate = std::stod(value);
+      } else if (key == "malformed_rate") {
+        spec.generator.malformed_rate = std::stod(value);
+      } else if (key == "late_rate") {
+        spec.generator.late_rate = std::stod(value);
+      } else if (key == "force_negation") {
+        spec.generator.force_negation = std::stoll(value) != 0;
+      } else if (key == "leg") {
+        spec.leg = value == "*" ? "" : value;
+      } else if (key == "queries") {
+        if (value != "*") {
+          for (const std::string& item : SplitCommas(value)) {
+            // Accept the same "lo-hi" range syntax as events; a bare
+            // std::stoll would silently read "0-1" as 0 and drop queries.
+            size_t dash = item.find('-', 1);
+            if (dash == std::string::npos) {
+              spec.queries.push_back(static_cast<int>(std::stoll(item)));
+            } else {
+              const int lo = static_cast<int>(std::stoll(item.substr(0, dash)));
+              const int hi =
+                  static_cast<int>(std::stoll(item.substr(dash + 1)));
+              if (lo > hi) {
+                return Status::ParseError("repro: inverted query range '" +
+                                          item + "'");
+              }
+              for (int q = lo; q <= hi; ++q) spec.queries.push_back(q);
+            }
+          }
+        }
+      } else if (key == "events") {
+        if (value != "*") {
+          for (const std::string& item : SplitCommas(value)) {
+            size_t dash = item.find('-');
+            if (dash == std::string::npos) {
+              int64_t v = std::stoll(item);
+              spec.events.emplace_back(v, v);
+            } else {
+              const int64_t lo = std::stoll(item.substr(0, dash));
+              const int64_t hi = std::stoll(item.substr(dash + 1));
+              if (lo > hi) {
+                return Status::ParseError("repro: inverted event range '" +
+                                          item + "'");
+              }
+              spec.events.emplace_back(lo, hi);
+            }
+          }
+        }
+      } else if (key == "expect") {
+        if (value != "match" && value != "diverge") {
+          return Status::ParseError("repro: expect must be match or diverge");
+        }
+        spec.expect = value;
+      } else if (key == "bug") {
+        spec.bug = value;
+      } else {
+        return Status::ParseError("repro line " + std::to_string(lineno) +
+                                  ": unknown key '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return Status::ParseError("repro line " + std::to_string(lineno) +
+                                ": bad value '" + value + "' for '" + key +
+                                "'");
+    }
+  }
+  return spec;
+}
+
+Status WriteRepro(const ReproSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write repro file: " + path);
+  out << FormatRepro(spec);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("short write: " + path);
+}
+
+Result<ReproSpec> ReadRepro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read repro file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseRepro(buffer.str());
+}
+
+Result<MaterializedCase> Materialize(const ReproSpec& spec,
+                                     TypeRegistry* registry) {
+  CAESAR_ASSIGN_OR_RETURN(GeneratedCase gen,
+                          GenerateCase(spec.seed, registry, spec.generator));
+  MaterializedCase out(registry);
+  if (spec.queries.empty()) {
+    out.model = gen.model;
+  } else {
+    CAESAR_ASSIGN_OR_RETURN(out.model,
+                            RestrictQueries(gen.model, spec.queries));
+  }
+  if (spec.events.empty()) {
+    out.clean = gen.clean;
+  } else {
+    const int64_t n = static_cast<int64_t>(gen.clean.size());
+    for (const auto& [lo, hi] : spec.events) {
+      for (int64_t i = std::max<int64_t>(lo, 0);
+           i <= std::min<int64_t>(hi, n - 1); ++i) {
+        out.clean.push_back(gen.clean[i]);
+      }
+    }
+  }
+  out.reorder_slack = spec.generator.max_delay;
+  out.disordered = InjectJunk(
+      DisorderStream(out.clean, spec.seed, spec.generator.max_delay),
+      spec.seed, *registry, registry->Lookup("Sig"), out.reorder_slack,
+      spec.generator.malformed_rate, spec.generator.late_rate);
+  out.num_queries = out.model.num_queries();
+  out.num_events = static_cast<int>(out.clean.size());
+  out.summary = gen.summary;
+  return out;
+}
+
+Result<DivergenceReport> ReplayRepro(const ReproSpec& spec,
+                                     bool full_matrix) {
+  TypeRegistry registry;
+  CAESAR_ASSIGN_OR_RETURN(MaterializedCase m, Materialize(spec, &registry));
+  DifferentialOptions options;
+  options.full_matrix = full_matrix;
+  options.only_leg = spec.leg;
+  CAESAR_RETURN_IF_ERROR(ApplyBug(spec.bug, &options.oracle));
+  return CompareCase(m.model, m.clean, m.disordered, m.reorder_slack,
+                     options);
+}
+
+Result<ReproSpec> ShrinkRepro(const ReproSpec& spec, bool full_matrix) {
+  auto diverges = [&](const ReproSpec& candidate) {
+    auto report = ReplayRepro(candidate, full_matrix);
+    return report.ok() && report.value().diverged;
+  };
+
+  TypeRegistry registry;
+  CAESAR_ASSIGN_OR_RETURN(MaterializedCase base, Materialize(spec, &registry));
+
+  ReproSpec cur = spec;
+  if (cur.queries.empty()) {
+    for (int i = 0; i < base.num_queries; ++i) cur.queries.push_back(i);
+  }
+
+  // Phase 1: drop queries to a fixpoint. Candidates that orphan a consumer
+  // fail to translate and are simply rejected by `diverges`.
+  bool progress = true;
+  while (progress && cur.queries.size() > 1) {
+    progress = false;
+    for (size_t i = 0; i < cur.queries.size() && cur.queries.size() > 1;) {
+      ReproSpec candidate = cur;
+      candidate.queries.erase(candidate.queries.begin() + i);
+      if (diverges(candidate)) {
+        cur = std::move(candidate);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Phase 2: remove events. On legs without window grouping any subset of
+  // the stream is a valid case, so ddmin-style chunk removal applies. On
+  // grouping legs ("shared" plan shape, or no pinned leg) the grouped plan
+  // is only equivalent to the base model when the monotone signal crosses
+  // every window bound (see generator.h) — dropping an interior bound tick
+  // manufactures a divergence that is a precondition violation, not a bug.
+  // There the shrink is restricted to drops that preserve bound coverage:
+  // whole partitions, suffix ticks, non-signal events, and duplicates.
+  std::vector<int64_t> kept;
+  if (cur.events.empty()) {
+    for (int64_t i = 0; i < base.num_events; ++i) kept.push_back(i);
+  } else {
+    for (const auto& [lo, hi] : cur.events) {
+      for (int64_t i = lo; i <= hi; ++i) kept.push_back(i);
+    }
+  }
+  const bool grouping_leg = cur.leg.empty() || cur.leg.rfind("shared", 0) == 0;
+  if (!grouping_leg) {
+    size_t chunk = kept.size() / 2;
+    if (chunk == 0) chunk = 1;
+    while (true) {
+      size_t i = 0;
+      while (i < kept.size() && kept.size() > 1) {
+        const size_t len = std::min(chunk, kept.size() - i);
+        if (len >= kept.size()) break;
+        std::vector<int64_t> candidate_kept;
+        candidate_kept.reserve(kept.size() - len);
+        candidate_kept.insert(candidate_kept.end(), kept.begin(),
+                              kept.begin() + i);
+        candidate_kept.insert(candidate_kept.end(), kept.begin() + i + len,
+                              kept.end());
+        ReproSpec candidate = cur;
+        candidate.events = CompressRanges(candidate_kept);
+        if (diverges(candidate)) {
+          kept = std::move(candidate_kept);
+          cur.events = std::move(candidate.events);
+        } else {
+          i += len;
+        }
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  } else {
+    TypeRegistry shrink_registry;
+    CAESAR_ASSIGN_OR_RETURN(
+        GeneratedCase gen,
+        GenerateCase(spec.seed, &shrink_registry, spec.generator));
+    const TypeId sig_id = shrink_registry.Lookup("Sig");
+    auto try_kept = [&](std::vector<int64_t> candidate_kept) {
+      if (candidate_kept.empty() || candidate_kept.size() == kept.size()) {
+        return false;
+      }
+      ReproSpec candidate = cur;
+      candidate.events = CompressRanges(candidate_kept);
+      if (!diverges(candidate)) return false;
+      kept = std::move(candidate_kept);
+      cur.events = CompressRanges(kept);
+      return true;
+    };
+    // (a) Whole partitions (per-partition execution is independent).
+    std::set<int64_t> segments;
+    for (int64_t i : kept) segments.insert(gen.clean[i]->value(0).AsInt());
+    for (int64_t seg : segments) {
+      std::vector<int64_t> candidate;
+      for (int64_t i : kept) {
+        if (gen.clean[i]->value(0).AsInt() != seg) candidate.push_back(i);
+      }
+      try_kept(std::move(candidate));
+    }
+    // (b) Suffix ticks: every bound <= the new maximum stays covered.
+    for (bool progress = true; progress;) {
+      progress = false;
+      std::set<Timestamp> ticks;
+      for (int64_t i : kept) ticks.insert(gen.clean[i]->time());
+      std::vector<Timestamp> ordered(ticks.begin(), ticks.end());
+      size_t chunk = ordered.size() / 2;
+      if (chunk == 0) break;
+      while (chunk >= 1) {
+        if (ordered.size() > chunk) {
+          const Timestamp cutoff = ordered[ordered.size() - chunk - 1];
+          std::vector<int64_t> candidate;
+          for (int64_t i : kept) {
+            if (gen.clean[i]->time() <= cutoff) candidate.push_back(i);
+          }
+          if (try_kept(std::move(candidate))) {
+            ordered.resize(ordered.size() - chunk);
+            progress = true;
+            continue;
+          }
+        }
+        if (chunk == 1) break;
+        chunk /= 2;
+      }
+    }
+    // (c) Non-signal events (bounds are thresholds on the signal type) —
+    // all at once, then individually.
+    {
+      std::vector<int64_t> sig_only, probes;
+      for (int64_t i : kept) {
+        (gen.clean[i]->type_id() == sig_id ? sig_only : probes).push_back(i);
+      }
+      if (!probes.empty() && !try_kept(std::move(sig_only))) {
+        for (int64_t p : probes) {
+          std::vector<int64_t> candidate;
+          for (int64_t i : kept) {
+            if (i != p) candidate.push_back(i);
+          }
+          try_kept(std::move(candidate));
+        }
+      }
+    }
+    // (d) Duplicates (identical payload at the same tick; the first copy
+    // keeps the tick covered).
+    {
+      std::set<std::string> seen;
+      std::vector<int64_t> dups, firsts;
+      for (int64_t i : kept) {
+        const std::string line = gen.clean[i]->ToString(shrink_registry);
+        (seen.insert(line).second ? firsts : dups).push_back(i);
+      }
+      if (!dups.empty()) try_kept(std::move(firsts));
+    }
+  }
+  if (cur.events.empty()) cur.events = CompressRanges(kept);
+  return cur;
+}
+
+Result<FuzzResult> RunFuzz(const FuzzOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  FuzzResult result;
+  for (int i = 0; i < options.iters; ++i) {
+    ReproSpec spec;
+    spec.seed = options.seed + static_cast<uint64_t>(i);
+    spec.generator = options.generator;
+    spec.bug = options.bug;
+    CAESAR_ASSIGN_OR_RETURN(DivergenceReport report,
+                            ReplayRepro(spec, options.full_matrix));
+    result.iterations_run = i + 1;
+    if (report.diverged) {
+      result.diverged = true;
+      result.report = report;
+      // Pin the diverging leg before shrinking: one engine run per
+      // candidate instead of a whole matrix sweep.
+      spec.leg = report.leg;
+      auto shrunk = ShrinkRepro(spec, options.full_matrix);
+      result.repro = shrunk.ok() ? std::move(shrunk).value() : spec;
+      result.repro.expect = "diverge";
+      result.repro.note = "leg " + report.leg;
+      return result;
+    }
+    if (options.budget_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= options.budget_seconds) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace caesar

@@ -1,0 +1,87 @@
+// Differential-testing reference interpreter ("the oracle").
+//
+// Executes a CaesarModel directly from its definition, with none of the
+// engine's machinery: no operator plans, no window grouping, no predicate
+// push-down, no batching, no partition sharding, single thread. One pass
+// over the time-ordered input stream; per (partition, query) the oracle
+// keeps a plain log of admitted events and answers SEQ patterns by
+// brute-force subsequence enumeration, aggregates by naive recomputation
+// over the logged samples, and contexts by scanning every deriving query in
+// the same phase order as the engine.
+//
+// The oracle is an *executable statement of the semantics*: simple enough
+// to audit by eye against Definitions 1-4 and Section 4.1 of the paper,
+// independent enough from plan/, optimizer/, and runtime/ that a bug has to
+// be introduced twice to go unnoticed. tests/differential_test.cc and
+// tools/fuzz_differential assert that the engine derives a byte-identical
+// event stream (canonicalized per tick) under every plan shape, thread
+// count, ingest policy, and metrics setting.
+//
+// Fidelity notes (where "naive" still has to mirror deliberate engine
+// behavior rather than ideal textbook semantics):
+//
+//  - State retention is the engine's, not an unbounded history: partial
+//    SEQ state expires `within` ticks behind the current transaction,
+//    composition changes of a query's context gate expire state older than
+//    the oldest surviving window's activation, and the periodic GC drops
+//    state older than `gc_horizon`. The oracle reproduces all three with a
+//    single rule — drop logged events older than a horizon — which is
+//    exact because in any brute-force combination the first component
+//    carries the strictly minimal time stamp.
+//  - Context transitions reset (activation/deactivation) or expire
+//    (composition change while active) per-query state exactly like
+//    runtime/engine.cc::ApplyWindowTransitions.
+//  - A query whose gate is inactive admits nothing, exactly like the
+//    push-down plan shape; the non-pushed shape differs only in internal
+//    state that a reactivation reset wipes before it can become visible.
+//
+// The oracle assumes a clean input stream (time-ordered, well-formed); the
+// harness feeds disordered/malformed variants only to engine legs whose
+// ingest policy repairs them back to the clean sequence.
+
+#ifndef CAESAR_ORACLE_ORACLE_H_
+#define CAESAR_ORACLE_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+#include "query/model.h"
+
+namespace caesar {
+
+// Oracle configuration. The state-retention knobs default to the engine's
+// EngineOptions defaults; differential runs must keep them equal on both
+// sides. The bug_* switches deliberately corrupt the oracle's semantics so
+// the harness can prove the differential gate actually fires (a fuzzer
+// that cannot catch a planted bug proves nothing).
+struct OracleOptions {
+  // Default WITHIN bound for SEQ patterns that do not specify one; must
+  // match PlanOptions::default_within on the engine side.
+  Timestamp default_within = 300;
+
+  // GC cadence and horizon; must match EngineOptions.
+  Timestamp gc_interval = 120;
+  Timestamp gc_horizon = 900;
+
+  // Fault injection (for harness self-tests only).
+  bool bug_skip_negation = false;     // ignore NOT positions in SEQ
+  bool bug_ignore_window_start = false;  // admit events from before the
+                                         // context window's activation
+  bool bug_drop_having = false;       // ignore HAVING on aggregates
+};
+
+// Runs `model` over the time-ordered `input` and returns every derived
+// event in deterministic order (ticks in order; within a tick: partitions
+// by ascending partition key, queries in engine phase order, matches in
+// enumeration order). Fails with InvalidArgument/Unimplemented on model
+// shapes the engine's translator also rejects, and with InvalidArgument on
+// disordered input.
+Result<EventBatch> RunReferenceModel(const CaesarModel& model,
+                                     const EventBatch& input,
+                                     const OracleOptions& options = {});
+
+}  // namespace caesar
+
+#endif  // CAESAR_ORACLE_ORACLE_H_

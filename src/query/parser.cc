@@ -366,6 +366,50 @@ class ModelParser {
   size_t pos_;
 };
 
+// Structural sanity beyond CaesarModel::Validate(). Normalize accepts any
+// context graph, but two shapes are almost certainly typos in the model
+// text, so the parser rejects them with a message naming the offender:
+//
+//  - a non-default context no query INITIATEs or SWITCHes to can never
+//    become active, so its whole workload is dead;
+//  - a SWITCH gated on its own target context can only fire when the
+//    partition is already where the switch would put it (and would
+//    terminate the context it is nominally entering).
+//
+// Checked after Normalize so implicit CONTEXT clauses (default context)
+// participate in both rules.
+Status ValidateContextGraph(const CaesarModel& model) {
+  for (const Query& query : model.queries()) {
+    if (query.action != ContextAction::kSwitch) continue;
+    for (const std::string& gate : query.contexts) {
+      if (gate == query.target_context) {
+        return Status::ParseError("query '" + query.name +
+                                  "': SWITCH CONTEXT " + query.target_context +
+                                  " is gated on its own target context '" +
+                                  gate + "' (self-loop switch edge)");
+      }
+    }
+  }
+  for (const ContextType& context : model.contexts()) {
+    if (context.name == model.default_context()) continue;
+    bool reachable = false;
+    for (const Query& query : model.queries()) {
+      if ((query.action == ContextAction::kInitiate ||
+           query.action == ContextAction::kSwitch) &&
+          query.target_context == context.name) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) {
+      return Status::ParseError("context '" + context.name +
+                                "' is unreachable: no query INITIATEs or "
+                                "SWITCHes to it");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<CaesarModel> ParseModel(std::string_view text, TypeRegistry* registry) {
@@ -374,6 +418,7 @@ Result<CaesarModel> ParseModel(std::string_view text, TypeRegistry* registry) {
   ModelParser parser(tokens, 0);
   CAESAR_RETURN_IF_ERROR(parser.ParseModelBody(&model));
   CAESAR_RETURN_IF_ERROR(model.Normalize());
+  CAESAR_RETURN_IF_ERROR(ValidateContextGraph(model));
   return model;
 }
 

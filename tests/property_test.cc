@@ -23,6 +23,7 @@
 #include "expr/parser.h"
 #include "algebra/pattern_op.h"
 #include "optimizer/optimizer.h"
+#include "oracle/generator.h"
 #include "plan/translator.h"
 #include "query/parser.h"
 #include "runtime/engine.h"
@@ -243,18 +244,22 @@ TEST_P(PlanEquivalenceTest, AllPlanShapesDeriveTheSameEvents) {
     }
   }
 
-  auto run = [&](Result<ExecutablePlan> plan, int num_threads) {
+  auto run_on = [&](Result<ExecutablePlan> plan, EngineOptions options,
+                    const EventBatch& input) {
     CAESAR_CHECK_OK(plan.status());
-    EngineOptions options;
-    options.num_threads = num_threads;
     Engine engine(std::move(plan).value(), options);
     EventBatch outputs;
-    engine.Run(stream, &outputs).value();
+    engine.Run(input, &outputs).value();
     std::multiset<std::string> lines;
     for (const EventPtr& event : outputs) {
       lines.insert(event->ToString(registry_));
     }
     return lines;
+  };
+  auto run = [&](Result<ExecutablePlan> plan, int num_threads) {
+    EngineOptions options;
+    options.num_threads = num_threads;
+    return run_on(std::move(plan), options, stream);
   };
 
   PlanOptions optimized;  // push-down + predicate push-down
@@ -271,6 +276,21 @@ TEST_P(PlanEquivalenceTest, AllPlanShapesDeriveTheSameEvents) {
   // time stamp) must agree with serial execution.
   EXPECT_EQ(run(TranslateModel(model.value(), optimized), 3), reference)
       << "seed " << GetParam();
+
+  // Reorder ingest on a bounded-delay disordered arrival order must
+  // re-sequence back to the clean derived stream, at any thread count.
+  const Timestamp max_delay = 3;
+  EventBatch disordered = DisorderStream(stream, GetParam() + 77, max_delay);
+  auto run_reorder = [&](int num_threads) {
+    EngineOptions options;
+    options.num_threads = num_threads;
+    options.ingest_policy = IngestPolicy::kReorder;
+    options.reorder_slack = max_delay;
+    return run_on(TranslateModel(model.value(), optimized), options,
+                  disordered);
+  };
+  EXPECT_EQ(run_reorder(2), reference) << "seed " << GetParam();
+  EXPECT_EQ(run_reorder(4), reference) << "seed " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalenceTest, ::testing::Range(0, 10));

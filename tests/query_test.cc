@@ -199,7 +199,12 @@ TEST(ParserTest, ParseWholeModel) {
       "QUERY toll\n"
       "DERIVE Toll(p.vid, 5 AS toll)\n"
       "PATTERN NewCar p\n"
-      "CONTEXT congestion;\n",
+      "CONTEXT congestion;\n"
+      "\n"
+      "QUERY slowdown\n"
+      "INITIATE CONTEXT congestion\n"
+      "PATTERN Jam j\n"
+      "CONTEXT clear;\n",
       &registry);
   ASSERT_TRUE(model.ok()) << model.status();
   const CaesarModel& m = model.value();
@@ -207,9 +212,9 @@ TEST(ParserTest, ParseWholeModel) {
   EXPECT_EQ(m.default_context(), "clear");
   EXPECT_EQ(m.partition_by(),
             (std::vector<std::string>{"xway", "dir", "seg"}));
-  EXPECT_EQ(m.num_queries(), 2);
+  EXPECT_EQ(m.num_queries(), 3);
   EXPECT_EQ(m.context(m.ContextIndex("clear")).deriving_queries,
-            std::vector<int>{0});
+            (std::vector<int>{0, 2}));
   EXPECT_EQ(m.context(m.ContextIndex("congestion")).processing_queries,
             std::vector<int>{1});
 }
@@ -232,6 +237,53 @@ TEST(ParserTest, ModelErrorsSurface) {
                  &registry)
           .ok());
   EXPECT_FALSE(ParseModel("CONTEXTS a; PARTITION xway;", &registry).ok());
+}
+
+TEST(ParserTest, UnreachableContextIsRejectedByName) {
+  TypeRegistry registry;
+  // `ghost` has a workload but nothing ever INITIATEs or SWITCHes to it.
+  auto model = ParseModel(
+      "CONTEXTS idle, ghost DEFAULT idle;\n"
+      "QUERY q DERIVE X(p.v) PATTERN E p CONTEXT ghost;\n",
+      &registry);
+  ASSERT_FALSE(model.ok());
+  EXPECT_NE(model.status().message().find("ghost"), std::string::npos)
+      << model.status();
+  EXPECT_NE(model.status().message().find("unreachable"), std::string::npos)
+      << model.status();
+
+  // The same context becomes legal once some query can reach it.
+  auto fixed = ParseModel(
+      "CONTEXTS idle, ghost DEFAULT idle;\n"
+      "QUERY open INITIATE CONTEXT ghost PATTERN S s CONTEXT idle;\n"
+      "QUERY q DERIVE X(p.v) PATTERN E p CONTEXT ghost;\n",
+      &registry);
+  EXPECT_TRUE(fixed.ok()) << fixed.status();
+}
+
+TEST(ParserTest, SelfLoopSwitchIsRejectedByName) {
+  TypeRegistry registry;
+  auto model = ParseModel(
+      "CONTEXTS idle, busy DEFAULT idle;\n"
+      "QUERY enter SWITCH CONTEXT busy PATTERN E p CONTEXT idle;\n"
+      "QUERY stuck SWITCH CONTEXT busy PATTERN F p CONTEXT busy;\n",
+      &registry);
+  ASSERT_FALSE(model.ok());
+  EXPECT_NE(model.status().message().find("stuck"), std::string::npos)
+      << model.status();
+  EXPECT_NE(model.status().message().find("busy"), std::string::npos)
+      << model.status();
+
+  // A SWITCH with no explicit CONTEXT clause is gated on the default
+  // context after Normalize; targeting the default is then a self-loop too.
+  auto implicit = ParseModel(
+      "CONTEXTS idle, busy DEFAULT idle;\n"
+      "QUERY enter SWITCH CONTEXT busy PATTERN E p CONTEXT idle;\n"
+      "QUERY back SWITCH CONTEXT idle PATTERN F p;\n",
+      &registry);
+  ASSERT_FALSE(implicit.ok());
+  EXPECT_NE(implicit.status().message().find("back"), std::string::npos)
+      << implicit.status();
 }
 
 TEST(ParserTest, ParseAggregatePattern) {

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Offline greedy minimizer for differential repro files.
+
+Re-shrinks a `.repro` spec (see src/oracle/differential.h) by shelling
+out to the fuzz_differential CLI for every candidate: drops queries to a
+fixpoint, then removes clean-stream events in halving chunk sizes,
+keeping each candidate that still diverges. Useful when the in-process
+shrinker was interrupted, or to re-minimize a hand-edited spec.
+
+Stdlib only. Example:
+
+    tools/minimize_repro.py repro_seed42.repro \
+        --bin build/tools/fuzz_differential -o repro_seed42.min.repro
+
+Caveat: on window-grouping legs (leg = shared/... or leg = *) arbitrary
+event drops can break the grouping soundness precondition (every window
+bound present per partition) and manufacture a "divergence" that is not
+the original bug. There the tool only trims whole suffixes of the
+time-ordered stream, which preserves prefix bound coverage; pass
+--unsafe to force full ddmin anyway.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SPEC_KEYS = (
+    "seed", "min_segments", "max_segments", "min_duration", "max_duration",
+    "max_delay", "duplicate_rate", "malformed_rate", "late_rate",
+    "force_negation", "leg", "queries", "events", "expect", "bug",
+)
+
+
+def parse_spec(path):
+    spec = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "=" not in line:
+                sys.exit(f"{path}:{lineno}: expected key = value")
+            key, _, value = line.partition("=")
+            key, value = key.strip(), value.strip()
+            if key not in SPEC_KEYS:
+                sys.exit(f"{path}:{lineno}: unknown key '{key}'")
+            spec[key] = value
+    if "seed" not in spec:
+        sys.exit(f"{path}: missing seed")
+    return spec
+
+
+def format_spec(spec):
+    lines = ["# minimized by tools/minimize_repro.py"]
+    for key in SPEC_KEYS:
+        if key in spec:
+            lines.append(f"{key} = {spec[key]}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_indices(value):
+    """'0,3-7' -> [0, 3, 4, 5, 6, 7]; '*' -> None (all)."""
+    if value == "*":
+        return None
+    out = []
+    for item in value.split(","):
+        item = item.strip()
+        if "-" in item:
+            lo, hi = item.split("-", 1)
+            out.extend(range(int(lo), int(hi) + 1))
+        else:
+            out.append(int(item))
+    return sorted(set(out))
+
+
+def format_indices(indices):
+    parts = []
+    run = [indices[0], indices[0]]
+    for i in indices[1:]:
+        if i == run[1] + 1:
+            run[1] = i
+        else:
+            parts.append(run)
+            run = [i, i]
+    parts.append(run)
+    return ",".join(f"{a}-{b}" if a != b else f"{a}" for a, b in parts)
+
+
+class Replayer:
+    def __init__(self, binary, matrix):
+        self.binary = binary
+        self.matrix = matrix
+        self.runs = 0
+
+    def _invoke(self, spec, extra):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".repro", delete=False) as tmp:
+            tmp.write(format_spec(spec))
+            path = tmp.name
+        try:
+            return subprocess.run(
+                [self.binary, "--replay", path, "--matrix", self.matrix]
+                + extra,
+                capture_output=True, text=True)
+        finally:
+            os.unlink(path)
+
+    def diverges(self, spec):
+        """True iff the spec still reproduces the divergence."""
+        self.runs += 1
+        probe = dict(spec, expect="diverge")
+        proc = self._invoke(probe, [])
+        if proc.returncode == 2:
+            # Candidate does not even materialize (e.g. a kept consumer
+            # lost its producer): treat as an invalid shrink, not an error.
+            return False
+        return proc.returncode == 0
+
+    def dump(self, spec):
+        proc = self._invoke(spec, ["--dump"])
+        if proc.returncode != 0:
+            sys.exit(f"--dump failed:\n{proc.stderr}{proc.stdout}")
+        return proc.stdout
+
+
+def case_shape(replayer, spec):
+    """(num_queries, num_events) of the *unmasked* generated case."""
+    base = {k: v for k, v in spec.items() if k not in ("queries", "events")}
+    text = replayer.dump(base)
+    # The dump prints the base model and then the grouped model; count
+    # queries in the base section only.
+    model = text.split("== model ==", 1)[-1].split("== grouped model", 1)[0]
+    queries = len(re.findall(r"^QUERY ", model, re.MULTILINE))
+    match = re.search(r"== kept clean events \((\d+)\) ==", text)
+    if not queries or not match:
+        sys.exit("could not parse --dump output")
+    return queries, int(match.group(1))
+
+
+def ddmin(replayer, spec, key, kept):
+    """Remove chunks of `kept` indices in halving sizes while the spec
+    still diverges. Divergence is not monotone in the kept set (dropping
+    a context-machinery query can mask or unmask a failure), so chunked
+    removal escapes local minima that one-at-a-time greedy gets stuck in.
+    """
+    chunk = max(1, len(kept) // 2)
+    while chunk >= 1:
+        pos = 0
+        while pos < len(kept):
+            candidate = kept[:pos] + kept[pos + chunk:]
+            if not candidate:
+                pos += chunk
+                continue
+            trial = dict(spec, **{key: format_indices(candidate)})
+            if replayer.diverges(trial):
+                kept = candidate
+                spec = trial
+            else:
+                pos += chunk
+        chunk //= 2
+    return spec, kept
+
+
+def shrink_queries(replayer, spec, num_queries):
+    kept = parse_indices(spec.get("queries", "*"))
+    if kept is None:
+        kept = list(range(num_queries))
+    return ddmin(replayer, spec, "queries", kept)
+
+
+def shrink_events(replayer, spec, num_events, suffix_only):
+    kept = parse_indices(spec.get("events", "*"))
+    if kept is None:
+        kept = list(range(num_events))
+    if not suffix_only:
+        return ddmin(replayer, spec, "events", kept)
+
+    chunk = max(1, len(kept) // 2)
+    while chunk >= 1:
+        while len(kept) > chunk:
+            candidate = kept[:-chunk]
+            trial = dict(spec, events=format_indices(candidate))
+            if not replayer.diverges(trial):
+                break
+            kept = candidate
+            spec = trial
+        chunk //= 2
+    return spec, kept
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("repro", help="input .repro file")
+    parser.add_argument("--bin", default="build/tools/fuzz_differential",
+                        help="path to the fuzz_differential binary")
+    parser.add_argument("--matrix", choices=("full", "quick"), default="full")
+    parser.add_argument("-o", "--out",
+                        help="output path (default: <input>.min.repro)")
+    parser.add_argument("--unsafe", action="store_true",
+                        help="full ddmin even on window-grouping legs")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.bin):
+        sys.exit(f"binary not found: {args.bin} (pass --bin)")
+    spec = parse_spec(args.repro)
+    replayer = Replayer(args.bin, args.matrix)
+
+    if not replayer.diverges(spec):
+        sys.exit("input spec does not diverge; nothing to minimize")
+
+    num_queries, num_events = case_shape(replayer, spec)
+    leg = spec.get("leg", "*")
+    grouping_leg = leg == "*" or leg.startswith("shared")
+    suffix_only = grouping_leg and not args.unsafe
+    if suffix_only:
+        print(f"leg '{leg}' includes window grouping: "
+              "suffix-only event trimming (--unsafe overrides)")
+
+    spec, queries = shrink_queries(replayer, spec, num_queries)
+    print(f"queries: {num_queries} -> {len(queries)}")
+    spec, events = shrink_events(replayer, spec, num_events, suffix_only)
+    print(f"events:  {num_events} -> {len(events)}")
+
+    if not replayer.diverges(spec):
+        sys.exit("internal error: minimized spec no longer diverges")
+
+    out = args.out or re.sub(r"(\.repro)?$", ".min.repro", args.repro, count=1)
+    with open(out, "w") as f:
+        f.write(format_spec(spec))
+    print(f"wrote {out} ({replayer.runs} replay runs)")
+
+
+if __name__ == "__main__":
+    main()
