@@ -1,0 +1,843 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event/schema.h"
+#include "expr/analysis.h"
+#include "expr/compiled.h"
+#include "optimizer/overlap_analysis.h"
+#include "plan/translator.h"
+#include "runtime/context_vector.h"
+
+namespace caesar {
+
+namespace {
+
+std::string QueryLabel(const Query& query, int qi) {
+  return query.name.empty() ? "query #" + std::to_string(qi) : query.name;
+}
+
+// Compile() reports both name-resolution and operand-type failures as
+// InvalidArgument; the wording tells them apart (see expr/compiled.cc).
+DiagCode ClassifyCompileError(const std::string& message) {
+  if (message.find("attribute") != std::string::npos ||
+      message.find("variable") != std::string::npos) {
+    return DiagCode::kE102UnknownAttribute;
+  }
+  return DiagCode::kE103TypeMismatch;
+}
+
+// Single threshold comparison "var.attr op const" (mirrors the static
+// helper in optimizer/overlap_analysis.cc; kept in sync so W203/W204
+// explain exactly why ExtractWindowBounds skipped a context).
+bool SingleThreshold(const ExprPtr& where, std::string* attr, double* key,
+                     BinaryOp* op) {
+  if (where == nullptr) return false;
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(where);
+  if (conjuncts.size() != 1) return false;
+  std::optional<AttrConstraint> constraint = ExtractConstraint(conjuncts[0]);
+  if (!constraint.has_value()) return false;
+  *attr = constraint->variable + "." + constraint->attribute;
+  *key = constraint->value;
+  *op = constraint->op;
+  return true;
+}
+
+// Thresholds that mark a single upward crossing of a monotone-rising
+// signal: `attr == K` (one-shot bound) and `attr >= K` / `attr > K` both
+// first hold at attr = K. `<=` / `<` thresholds hold from the start
+// instead (the closing half of a hysteresis window) and carry no crossing
+// order.
+bool IsRisingCrossing(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+// Derived-type resolution state of one query.
+enum class ResolveState : int8_t { kPending, kResolved, kPoisoned, kSkipped };
+
+struct QueryInfo {
+  ResolveState state = ResolveState::kPending;
+  BindingSet bindings;          // kEvent/kSeq: one var per pattern item
+  std::vector<int> negated;     // binding indices of negated items
+  Schema agg_schema;            // kAggregate: post-aggregation schema
+  bool agg_schema_ok = false;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const CaesarModel& model, const AnalyzerOptions& options)
+      : model_(model), options_(options), infos_(model.num_queries()) {}
+
+  std::vector<Diagnostic> Run() {
+    CheckStructure();
+    for (Diagnostic& diag : AnalyzeContextGraph(model_)) {
+      diags_.push_back(std::move(diag));
+    }
+    CheckPlanLimits();
+    ResolveTypesAndCheckExpressions();
+    CheckWindows();
+    if (options_.check_plan && !HasErrors(diags_)) {
+      auto plan = TranslateModel(model_, PlanOptions{});
+      if (!plan.ok()) {
+        Emit(DiagCode::kP304PlanTranslation,
+             "plan translation failed: " + plan.status().message());
+      }
+    }
+    for (Diagnostic& diag : diags_) {
+      if (diag.source.empty()) diag.source = options_.source_name;
+    }
+    if (!options_.include_notes) {
+      diags_.erase(std::remove_if(diags_.begin(), diags_.end(),
+                                  [](const Diagnostic& d) {
+                                    return d.severity == DiagSeverity::kNote;
+                                  }),
+                   diags_.end());
+    }
+    SortDiagnostics(&diags_);
+    return std::move(diags_);
+  }
+
+ private:
+  void Emit(DiagCode code, std::string message, SourceLoc loc = {},
+            std::string query = {}, std::string context = {}) {
+    diags_.push_back(MakeDiag(code, std::move(message), loc, std::move(query),
+                              std::move(context)));
+  }
+
+  // ----- Pass 1: structure (lenient mirror of CaesarModel::Validate). -----
+
+  void CheckStructure() {
+    if (model_.num_contexts() == 0) {
+      Emit(DiagCode::kC005UnknownContext, "model declares no contexts");
+    } else if (model_.ContextIndex(model_.default_context()) < 0) {
+      Emit(DiagCode::kC005UnknownContext,
+           "default context not declared: " + model_.default_context());
+    }
+    for (int qi = 0; qi < model_.num_queries(); ++qi) {
+      const Query& query = model_.query(qi);
+      std::string label = QueryLabel(query, qi);
+      if (!query.pattern.has_value() || query.pattern->items.empty()) {
+        Emit(DiagCode::kE107MissingPattern,
+             "query '" + label + "': missing PATTERN clause", query.loc,
+             label);
+        infos_[qi].state = ResolveState::kSkipped;
+      }
+      if (query.action == ContextAction::kNone && !query.derive.has_value() &&
+          !query.derivation_helper) {
+        Emit(DiagCode::kE108MissingDeriveOrAction,
+             "query '" + label + "': needs a DERIVE clause or a context action",
+             query.loc, label);
+      }
+      if (query.action != ContextAction::kNone &&
+          model_.ContextIndex(query.target_context) < 0) {
+        Emit(DiagCode::kC005UnknownContext,
+             "query '" + label + "': unknown target context " +
+                 query.target_context,
+             query.loc, label, query.target_context);
+      }
+      for (const std::string& context_name : query.contexts) {
+        if (model_.ContextIndex(context_name) < 0) {
+          Emit(DiagCode::kC005UnknownContext,
+               "query '" + label + "': unknown context " + context_name,
+               query.loc, label, context_name);
+        }
+      }
+      if (!query.context_anchors.empty()) {
+        if (query.context_anchors.size() != query.contexts.size()) {
+          Emit(DiagCode::kC005UnknownContext,
+               "query '" + label +
+                   "': context_anchors must parallel the CONTEXT clause",
+               query.loc, label);
+        }
+        for (const std::string& anchor : query.context_anchors) {
+          if (model_.ContextIndex(anchor) < 0) {
+            Emit(DiagCode::kC005UnknownContext,
+                 "query '" + label + "': unknown anchor " + anchor, query.loc,
+                 label, anchor);
+          }
+        }
+      }
+      if (!query.pattern.has_value()) continue;
+      const PatternSpec& pattern = *query.pattern;
+      if (pattern.kind == PatternSpec::Kind::kSeq && !pattern.items.empty()) {
+        bool has_positive = false;
+        for (const PatternItem& item : pattern.items) {
+          if (!item.negated) has_positive = true;
+        }
+        if (!has_positive) {
+          Emit(DiagCode::kE109NoPositiveItem,
+               "query '" + label + "': pattern has no positive event",
+               query.pattern_loc, label);
+        }
+        if (pattern.items.back().negated) {
+          Emit(DiagCode::kP302TrailingNegation,
+               "query '" + label +
+                   "': SEQ pattern ends with a negated position (trailing "
+                   "NOT has no bounded semantics)",
+               query.pattern_loc, label);
+        }
+      }
+      if (pattern.kind == PatternSpec::Kind::kAggregate) {
+        if (pattern.items.size() != 1 || pattern.items[0].negated) {
+          Emit(DiagCode::kE105BadAggregate,
+               "query '" + label + "': aggregate pattern needs one positive "
+                                   "input",
+               query.pattern_loc, label);
+          infos_[qi].state = ResolveState::kSkipped;
+        }
+        if (pattern.window_length <= 0) {
+          Emit(DiagCode::kE105BadAggregate,
+               "query '" + label + "': aggregate pattern needs a positive "
+                                   "window length",
+               query.pattern_loc, label);
+        }
+      }
+    }
+  }
+
+  // ----- Pass 2: plan-capacity limits. -----
+
+  void CheckPlanLimits() {
+    if (model_.num_contexts() > kMaxContexts) {
+      Emit(DiagCode::kP301TooManyContexts,
+           "model declares " + std::to_string(model_.num_contexts()) +
+               " contexts; the runtime context vector holds at most " +
+               std::to_string(kMaxContexts));
+    }
+  }
+
+  // ----- Pass 3: derived-type fixpoint + expression checks. -----
+
+  const Schema* LookupSchema(const std::string& type_name) const {
+    TypeId id = model_.registry()->Lookup(type_name);
+    if (id != kInvalidTypeId) return &model_.registry()->type(id).schema;
+    auto it = derived_.find(type_name);
+    if (it != derived_.end()) return &it->second;
+    return nullptr;
+  }
+
+  void PoisonOutput(const Query& query) {
+    if (!query.derive.has_value()) return;
+    const std::string& name = query.derive->event_type;
+    if (LookupSchema(name) == nullptr) poisoned_.insert(name);
+  }
+
+  void ResolveTypesAndCheckExpressions() {
+    // Who derives what (first deriver wins, as in the translator).
+    std::map<std::string, std::string> deriver;
+    for (int qi = 0; qi < model_.num_queries(); ++qi) {
+      const Query& query = model_.query(qi);
+      if (!query.derive.has_value()) continue;
+      deriver.emplace(query.derive->event_type, QueryLabel(query, qi));
+    }
+    // Fixpoint: a query resolves once every pattern item type is known
+    // (registered or derived by an already-resolved query).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int qi = 0; qi < model_.num_queries(); ++qi) {
+        if (infos_[qi].state != ResolveState::kPending) continue;
+        const Query& query = model_.query(qi);
+        bool available = true;
+        bool poisoned = false;
+        for (const PatternItem& item : query.pattern->items) {
+          if (LookupSchema(item.event_type) != nullptr) continue;
+          if (poisoned_.count(item.event_type) > 0) {
+            poisoned = true;
+            continue;
+          }
+          available = false;
+        }
+        if (!available) continue;
+        progress = true;
+        if (poisoned) {
+          // The defect is in the producing query; stay quiet here.
+          infos_[qi].state = ResolveState::kPoisoned;
+          PoisonOutput(query);
+          continue;
+        }
+        infos_[qi].state = ResolveState::kResolved;
+        CheckResolvedQuery(qi);
+      }
+    }
+    // Whatever is still pending references a type nobody defines (or a
+    // derivation cycle).
+    for (int qi = 0; qi < model_.num_queries(); ++qi) {
+      if (infos_[qi].state != ResolveState::kPending) continue;
+      const Query& query = model_.query(qi);
+      std::string label = QueryLabel(query, qi);
+      std::set<std::string> reported;
+      for (const PatternItem& item : query.pattern->items) {
+        if (LookupSchema(item.event_type) != nullptr) continue;
+        if (poisoned_.count(item.event_type) > 0) continue;
+        if (!reported.insert(item.event_type).second) continue;
+        auto it = deriver.find(item.event_type);
+        std::string message =
+            "query '" + label + "': unknown event type " + item.event_type;
+        if (it != deriver.end()) {
+          message += " (derived by query '" + it->second +
+                     "', which did not resolve — derivation cycle?)";
+        }
+        Emit(DiagCode::kE101UnknownEventType, message, query.pattern_loc,
+             label);
+      }
+      PoisonOutput(query);
+    }
+  }
+
+  // Compiles `expr` and reports E102/E103/E104, W205 (constant folding) and
+  // W201 (interval contradiction). Returns the compiled expr when usable.
+  std::unique_ptr<CompiledExpr> CheckPredicate(const ExprPtr& expr,
+                                               const BindingSet& bindings,
+                                               SourceLoc loc,
+                                               const std::string& clause,
+                                               const std::string& label) {
+    auto compiled = Compile(expr, bindings);
+    if (!compiled.ok()) {
+      Emit(ClassifyCompileError(compiled.status().message()),
+           "query '" + label + "': " + clause + ": " +
+               compiled.status().message(),
+           loc, label);
+      return nullptr;
+    }
+    std::unique_ptr<CompiledExpr> result = std::move(compiled).value();
+    if (result->result_type() == ValueType::kString) {
+      Emit(DiagCode::kE104NonBooleanPredicate,
+           "query '" + label + "': " + clause +
+               " predicate has type string; expected a boolean condition",
+           loc, label);
+      return result;
+    }
+    if (result->referenced_vars().empty()) {
+      bool value = result->EvalBool(nullptr);
+      Emit(DiagCode::kW205ConstantPredicate,
+           "query '" + label + "': " + clause + " predicate is constantly " +
+               (value ? "true" : "false (the clause can never be satisfied)"),
+           loc, label);
+      return result;
+    }
+    PredicateSummary summary = PredicateSummary::FromExpr(expr);
+    if (summary.exact()) {
+      for (const auto& [key, interval] : summary.intervals()) {
+        if (!interval.IsEmpty()) continue;
+        std::string attr =
+            key.first.empty() ? key.second : key.first + "." + key.second;
+        Emit(DiagCode::kW201ContradictoryPredicate,
+             "query '" + label + "': " + clause +
+                 " predicate is contradictory: " + attr +
+                 " is constrained to the empty set " + interval.ToString(),
+             loc, label);
+        break;
+      }
+    }
+    return result;
+  }
+
+  void CheckResolvedQuery(int qi) {
+    const Query& query = model_.query(qi);
+    QueryInfo& info = infos_[qi];
+    std::string label = QueryLabel(query, qi);
+    const PatternSpec& pattern = *query.pattern;
+
+    if (pattern.kind == PatternSpec::Kind::kAggregate) {
+      CheckAggregateQuery(qi);
+      return;
+    }
+
+    // Bindings: one variable per pattern position, negated included (the
+    // matcher evaluates negation conditions against them).
+    for (size_t i = 0; i < pattern.items.size(); ++i) {
+      const PatternItem& item = pattern.items[i];
+      BindingVar var;
+      var.name = item.variable;
+      var.type_id = model_.registry()->Lookup(item.event_type);
+      var.schema = LookupSchema(item.event_type);
+      info.bindings.Add(std::move(var));
+      if (item.negated) info.negated.push_back(static_cast<int>(i));
+    }
+
+    if (query.where != nullptr) {
+      auto where = CheckPredicate(query.where, info.bindings, query.where_loc,
+                                  "WHERE", label);
+      // P303: one conjunct constraining several negated positions has no
+      // single matcher to attach to (the translator rejects it).
+      if (where != nullptr && pattern.kind == PatternSpec::Kind::kSeq &&
+          info.negated.size() > 1) {
+        for (const ExprPtr& conjunct : SplitConjuncts(query.where)) {
+          auto compiled = Compile(conjunct, info.bindings);
+          if (!compiled.ok()) continue;
+          int negated_refs = 0;
+          for (int var : compiled.value()->referenced_vars()) {
+            if (std::find(info.negated.begin(), info.negated.end(), var) !=
+                info.negated.end()) {
+              ++negated_refs;
+            }
+          }
+          if (negated_refs > 1) {
+            Emit(DiagCode::kP303MultiNegatedPredicate,
+                 "query '" + label + "': WHERE conjunct '" +
+                     conjunct->ToString() +
+                     "' references multiple negated pattern variables",
+                 query.where_loc, label);
+          }
+        }
+      }
+    }
+
+    // W202: SEQ positions carry strictly increasing timestamps, so a match
+    // of n positive positions spans at least n-1 time units.
+    if (pattern.kind == PatternSpec::Kind::kSeq && pattern.within > 0) {
+      int positive = 0;
+      for (const PatternItem& item : pattern.items) {
+        if (!item.negated) ++positive;
+      }
+      if (positive >= 2 && pattern.within < positive - 1) {
+        Emit(DiagCode::kW202UnsatisfiableSeq,
+             "query '" + label + "': SEQ of " + std::to_string(positive) +
+                 " positive positions spans at least " +
+                 std::to_string(positive - 1) +
+                 " time units (timestamps strictly increase) but WITHIN is " +
+                 std::to_string(pattern.within),
+             query.pattern_loc, label);
+      }
+    }
+
+    if (query.derive.has_value()) {
+      CheckDeriveClause(qi, info.bindings, /*post_aggregate=*/false);
+    }
+  }
+
+  void CheckAggregateQuery(int qi) {
+    const Query& query = model_.query(qi);
+    QueryInfo& info = infos_[qi];
+    std::string label = QueryLabel(query, qi);
+    const PatternSpec& pattern = *query.pattern;
+    const PatternItem& input = pattern.items[0];
+    const Schema* input_schema = LookupSchema(input.event_type);
+
+    BindingVar in_var;
+    in_var.name = input.variable;
+    in_var.type_id = model_.registry()->Lookup(input.event_type);
+    in_var.schema = input_schema;
+    info.bindings.Add(in_var);
+
+    // Post-aggregation schema: group-by attributes keep their input type;
+    // COUNT yields int, every other aggregate a double (translator
+    // BuildAggregate).
+    std::vector<Attribute> out_attrs;
+    bool agg_ok = true;
+    for (const std::string& group_attr : pattern.group_by) {
+      int index = input_schema->IndexOf(group_attr);
+      if (index < 0) {
+        Emit(DiagCode::kE105BadAggregate,
+             "query '" + label + "': unknown group-by attribute " + group_attr,
+             query.pattern_loc, label);
+        agg_ok = false;
+        continue;
+      }
+      out_attrs.push_back(input_schema->attribute(index));
+    }
+    for (const AggregateSpec& agg : pattern.aggregates) {
+      if (agg.attribute.empty()) {
+        if (agg.func != AggregateFunc::kCount) {
+          Emit(DiagCode::kE105BadAggregate,
+               "query '" + label + "': only COUNT may omit its attribute (" +
+                   AggregateFuncName(agg.func) + " AS " + agg.name + ")",
+               query.pattern_loc, label);
+          agg_ok = false;
+        }
+      } else if (input_schema->IndexOf(agg.attribute) < 0) {
+        Emit(DiagCode::kE105BadAggregate,
+             "query '" + label + "': unknown aggregate attribute " +
+                 agg.attribute,
+             query.pattern_loc, label);
+        agg_ok = false;
+        continue;
+      }
+      out_attrs.push_back(Attribute{
+          agg.name, agg.func == AggregateFunc::kCount ? ValueType::kInt
+                                                      : ValueType::kDouble});
+    }
+    if (!agg_ok) {
+      PoisonOutput(query);
+      return;
+    }
+    info.agg_schema = Schema(std::move(out_attrs));
+    info.agg_schema_ok = true;
+
+    BindingSet post_bindings;
+    BindingVar post_var;
+    post_var.name = input.variable;
+    post_var.schema = &info.agg_schema;
+    post_bindings.Add(post_var);
+
+    // WHERE on an aggregate pattern filters the aggregate's output rows
+    // (translator: post_where compiled against post_bindings), not the
+    // input events — so it is checked against the post-aggregation schema.
+    if (query.where != nullptr) {
+      CheckPredicate(query.where, post_bindings, query.where_loc, "WHERE",
+                     label);
+    }
+
+    if (pattern.having != nullptr) {
+      CheckPredicate(pattern.having, post_bindings, query.pattern_loc,
+                     "HAVING", label);
+    }
+    if (query.derive.has_value()) {
+      CheckDeriveClause(qi, post_bindings, /*post_aggregate=*/true);
+    }
+  }
+
+  // Compiles the DERIVE arguments, reports E102/E103 (and references to
+  // negated pattern variables), computes the derived schema, and registers
+  // it for downstream queries — reporting E106 on conflicts.
+  void CheckDeriveClause(int qi, const BindingSet& bindings,
+                         bool post_aggregate) {
+    const Query& query = model_.query(qi);
+    const QueryInfo& info = infos_[qi];
+    std::string label = QueryLabel(query, qi);
+    const DeriveSpec& derive = *query.derive;
+
+    std::vector<Attribute> attrs;
+    std::set<std::string> used_names;
+    bool ok = true;
+    for (size_t i = 0; i < derive.args.size(); ++i) {
+      const ExprPtr& arg = derive.args[i];
+      auto compiled = Compile(arg, bindings);
+      if (!compiled.ok()) {
+        Emit(ClassifyCompileError(compiled.status().message()),
+             "query '" + label + "': DERIVE argument '" + arg->ToString() +
+                 "': " + compiled.status().message(),
+             query.loc, label);
+        ok = false;
+        continue;
+      }
+      if (!post_aggregate) {
+        for (int var : compiled.value()->referenced_vars()) {
+          if (std::find(info.negated.begin(), info.negated.end(), var) !=
+              info.negated.end()) {
+            Emit(DiagCode::kE102UnknownAttribute,
+                 "query '" + label +
+                     "': attribute of negated variable used outside the "
+                     "pattern: " +
+                     arg->ToString(),
+                 query.loc, label);
+            ok = false;
+          }
+        }
+      }
+      // Output attribute name: explicit AS name, the referenced attribute's
+      // name, or a positional fallback (translator InferAttrName).
+      std::string name;
+      if (i < derive.attr_names.size()) name = derive.attr_names[i];
+      if (name.empty() && arg->kind() == Expr::Kind::kAttrRef) {
+        name = static_cast<const AttrRefExpr&>(*arg).attribute();
+      }
+      if (name.empty()) name = "a" + std::to_string(i);
+      if (!used_names.insert(name).second) {
+        name += "_" + std::to_string(i);
+        used_names.insert(name);
+      }
+      attrs.push_back(Attribute{name, compiled.value()->result_type()});
+    }
+    if (!ok) {
+      PoisonOutput(query);
+      return;
+    }
+
+    const std::string& type_name = derive.event_type;
+    TypeId registered = model_.registry()->Lookup(type_name);
+    if (registered != kInvalidTypeId) {
+      const Schema& existing = model_.registry()->type(registered).schema;
+      if (existing.num_attributes() != static_cast<int>(attrs.size())) {
+        Emit(DiagCode::kE106DeriveSchemaConflict,
+             "query '" + label + "': derived event type " + type_name +
+                 " is already registered with a different schema (" +
+                 std::to_string(existing.num_attributes()) + " vs " +
+                 std::to_string(attrs.size()) + " attributes)",
+             query.loc, label);
+      }
+      return;  // the registered schema wins, as in the translator
+    }
+    auto it = derived_.find(type_name);
+    if (it != derived_.end()) {
+      if (it->second.num_attributes() != static_cast<int>(attrs.size())) {
+        Emit(DiagCode::kE106DeriveSchemaConflict,
+             "query '" + label + "': derived event type " + type_name +
+                 " is derived with a different schema elsewhere (" +
+                 std::to_string(it->second.num_attributes()) + " vs " +
+                 std::to_string(attrs.size()) + " attributes)",
+             query.loc, label);
+      }
+      return;  // first deriver wins
+    }
+    derived_.emplace(type_name, Schema(std::move(attrs)));
+  }
+
+  // ----- Pass 4: optimizer preconditions (W203 note / W204 warning). -----
+
+  void CheckWindows() {
+    std::set<std::string> groupable;
+    for (const WindowBounds& bounds : ExtractWindowBounds(model_)) {
+      groupable.insert(bounds.context);
+    }
+    for (int ci = 0; ci < model_.num_contexts(); ++ci) {
+      const ContextType& context = model_.context(ci);
+      if (context.name == model_.default_context()) continue;
+      if (groupable.count(context.name) > 0) continue;
+      // Mirror ExtractWindowBounds' initiator/terminator extraction.
+      std::vector<int> initiators, terminators;
+      bool self_loop = false;
+      for (int qi = 0; qi < model_.num_queries(); ++qi) {
+        const Query& query = model_.query(qi);
+        bool starts = (query.action == ContextAction::kInitiate ||
+                       query.action == ContextAction::kSwitch) &&
+                      query.target_context == context.name;
+        bool ends = (query.action == ContextAction::kTerminate &&
+                     query.target_context == context.name) ||
+                    (query.action == ContextAction::kSwitch &&
+                     query.target_context != context.name &&
+                     std::find(query.contexts.begin(), query.contexts.end(),
+                               context.name) != query.contexts.end());
+        if (starts && ends) self_loop = true;
+        if (starts) initiators.push_back(qi);
+        if (ends) terminators.push_back(qi);
+      }
+      if (self_loop) continue;       // C002 already reported
+      if (initiators.empty()) continue;  // C001 territory
+      std::string prefix = "context '" + context.name + "' ";
+      if (terminators.empty()) {
+        Note(prefix +
+                 "has no terminating query; its windows never close and "
+                 "cannot be grouped",
+             context);
+        continue;
+      }
+      if (initiators.size() > 1 || terminators.size() > 1) {
+        Note(prefix + "has " + std::to_string(initiators.size()) +
+                 " initiating and " + std::to_string(terminators.size()) +
+                 " terminating queries; window grouping requires exactly one "
+                 "of each",
+             context);
+        continue;
+      }
+      const Query& init = model_.query(initiators[0]);
+      const Query& term = model_.query(terminators[0]);
+      std::string start_attr, end_attr;
+      double start_key = 0, end_key = 0;
+      BinaryOp start_op = BinaryOp::kGe, end_op = BinaryOp::kGe;
+      bool init_ok =
+          SingleThreshold(init.where, &start_attr, &start_key, &start_op);
+      bool term_ok = SingleThreshold(term.where, &end_attr, &end_key, &end_op);
+      if (!init_ok || !term_ok) {
+        const Query& bad = init_ok ? term : init;
+        Note(prefix + "bounds are not compile-time orderable: the " +
+                 (init_ok ? "terminating" : "initiating") +
+                 " predicate of query '" +
+                 QueryLabel(bad, init_ok ? terminators[0] : initiators[0]) +
+                 "' is not a single threshold comparison",
+             context);
+        continue;
+      }
+      if (start_attr != end_attr) {
+        Note(prefix + "bounds constrain different attributes (" + start_attr +
+                 " vs " + end_attr + ") and are not compile-time orderable",
+             context);
+        continue;
+      }
+      // Orderability is only defined when both thresholds mark a rising
+      // crossing (the monotone-rising-signal shape window grouping
+      // targets). Opposite-direction pairs are hysteresis windows (e.g.
+      // open on intensity >= 7, close on intensity <= 3) — valid, just
+      // not groupable.
+      if (!IsRisingCrossing(start_op) || !IsRisingCrossing(end_op)) {
+        Note(prefix + "bounds are opposite-direction thresholds on " +
+                 start_attr + " (a hysteresis window) and are not "
+                 "compile-time orderable",
+             context);
+        continue;
+      }
+      // Same attribute, rising-crossing thresholds — ExtractWindowBounds
+      // only skips this shape when the bounds are inverted (zero-width).
+      std::ostringstream message;
+      message << prefix << "window bounds are inverted: it opens at "
+              << start_attr << " ~ " << start_key << " but closes at "
+              << end_attr << " ~ " << end_key
+              << " (the terminating threshold must exceed the initiating "
+                 "one)";
+      Emit(DiagCode::kW204InvertedWindowBounds, message.str(), context.loc,
+           /*query=*/{}, context.name);
+    }
+  }
+
+  void Note(const std::string& message, const ContextType& context) {
+    Emit(DiagCode::kW203UngroupableWindow, message, context.loc, /*query=*/{},
+         context.name);
+  }
+
+  const CaesarModel& model_;
+  const AnalyzerOptions& options_;
+  std::vector<Diagnostic> diags_;
+  std::vector<QueryInfo> infos_;
+  std::map<std::string, Schema> derived_;  // virtual schemas, name-keyed
+  std::set<std::string> poisoned_;         // derived types that failed
+};
+
+}  // namespace
+
+std::vector<Diagnostic> AnalyzeModel(const CaesarModel& model,
+                                     const AnalyzerOptions& options) {
+  return Analyzer(model, options).Run();
+}
+
+std::vector<Diagnostic> AnalyzeContextGraph(const CaesarModel& model) {
+  std::vector<Diagnostic> diags;
+  if (model.num_contexts() == 0) return diags;
+
+  // C002: a SWITCH gated on its own target re-fires forever.
+  for (int qi = 0; qi < model.num_queries(); ++qi) {
+    const Query& query = model.query(qi);
+    if (query.action != ContextAction::kSwitch) continue;
+    std::string label = QueryLabel(query, qi);
+    for (const std::string& gate : query.contexts) {
+      if (gate != query.target_context) continue;
+      diags.push_back(MakeDiag(
+          DiagCode::kC002SelfLoopSwitch,
+          "query '" + label + "': SWITCH CONTEXT " + query.target_context +
+              " is gated on its own target context '" + gate +
+              "' (self-loop switch edge)",
+          query.loc, label, gate));
+    }
+  }
+
+  // C001: no query ever INITIATEs or SWITCHes to the context.
+  for (const ContextType& context : model.contexts()) {
+    if (context.name == model.default_context()) continue;
+    bool reachable = false;
+    for (const Query& query : model.queries()) {
+      if ((query.action == ContextAction::kInitiate ||
+           query.action == ContextAction::kSwitch) &&
+          query.target_context == context.name) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) {
+      diags.push_back(MakeDiag(DiagCode::kC001UnreachableContext,
+                               "context '" + context.name +
+                                   "' is unreachable: no query INITIATEs or "
+                                   "SWITCHes to it",
+                               context.loc, /*query=*/{}, context.name));
+    }
+  }
+
+  // Activation fixpoint: the default context is active; a deriving query
+  // whose gate set intersects the active set activates its target.
+  std::vector<char> active(model.num_contexts(), 0);
+  int default_index = model.ContextIndex(model.default_context());
+  if (default_index >= 0) active[default_index] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Query& query : model.queries()) {
+      if (query.action != ContextAction::kInitiate &&
+          query.action != ContextAction::kSwitch) {
+        continue;
+      }
+      int target = model.ContextIndex(query.target_context);
+      if (target < 0 || active[target]) continue;
+      for (const std::string& gate : query.contexts) {
+        int gi = model.ContextIndex(gate);
+        if (gi >= 0 && active[gi]) {
+          active[target] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // C004: every gate of the query is provably never active.
+  for (int qi = 0; qi < model.num_queries(); ++qi) {
+    const Query& query = model.query(qi);
+    if (query.contexts.empty()) continue;
+    std::string label = QueryLabel(query, qi);
+    bool any_known = false;
+    bool any_active = false;
+    std::string gates;
+    for (const std::string& gate : query.contexts) {
+      int gi = model.ContextIndex(gate);
+      if (gi < 0) continue;
+      any_known = true;
+      if (active[gi]) any_active = true;
+      if (!gates.empty()) gates += ", ";
+      gates += gate;
+    }
+    if (!any_known || any_active) continue;
+    diags.push_back(MakeDiag(
+        DiagCode::kC004DeadQuery,
+        "query '" + label + "' can never fire: none of its contexts (" +
+            gates + ") is ever activated",
+        query.loc, label));
+  }
+
+  // C003: a later SWITCH whose pattern and predicate are subsumed by an
+  // earlier SWITCH to the same target never changes the outcome.
+  for (int qj = 0; qj < model.num_queries(); ++qj) {
+    const Query& later = model.query(qj);
+    if (later.action != ContextAction::kSwitch) continue;
+    if (!later.pattern.has_value() ||
+        later.pattern->kind != PatternSpec::Kind::kEvent) {
+      continue;
+    }
+    for (int qi = 0; qi < qj; ++qi) {
+      const Query& earlier = model.query(qi);
+      if (earlier.action != ContextAction::kSwitch ||
+          earlier.target_context != later.target_context) {
+        continue;
+      }
+      if (!earlier.pattern.has_value() ||
+          earlier.pattern->kind != PatternSpec::Kind::kEvent ||
+          earlier.pattern->items[0].event_type !=
+              later.pattern->items[0].event_type) {
+        continue;
+      }
+      // The earlier query must be gated wherever the later one is...
+      bool gates_covered = true;
+      for (const std::string& gate : later.contexts) {
+        if (std::find(earlier.contexts.begin(), earlier.contexts.end(),
+                      gate) == earlier.contexts.end()) {
+          gates_covered = false;
+          break;
+        }
+      }
+      if (!gates_covered) continue;
+      // ...and fire whenever the later one fires (predicate subsumption).
+      if (!Implies(PredicateSummary::FromExpr(later.where),
+                   PredicateSummary::FromExpr(earlier.where))) {
+        continue;
+      }
+      std::string later_label = QueryLabel(later, qj);
+      diags.push_back(MakeDiag(
+          DiagCode::kC003ShadowedSwitchEdge,
+          "query '" + later_label + "': SWITCH CONTEXT " +
+              later.target_context + " is shadowed by query '" +
+              QueryLabel(earlier, qi) +
+              "', which switches there on a weaker predicate over the same "
+              "pattern",
+          later.loc, later_label, later.target_context));
+      break;
+    }
+  }
+
+  return diags;
+}
+
+}  // namespace caesar

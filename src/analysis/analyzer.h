@@ -1,0 +1,72 @@
+// Static semantic analysis of CAESAR models ("caesar-lint").
+//
+// The analyzer inspects a model *before* plan translation and reports coded
+// diagnostics (analysis/diagnostics.h) instead of opaque Status failures:
+//
+//   - context-graph checks: unreachable contexts (C001), self-loop SWITCH
+//     edges (C002), shadowed SWITCH edges (C003), dead queries (C004),
+//     unknown context names (C005). Reachability is an activation fixpoint:
+//     the default context is active, and a query whose gate set intersects
+//     the active set activates its INITIATE/SWITCH target.
+//   - expression/type checks against the event schemas: unknown event types
+//     (E101), unknown attributes (E102), operand type errors (E103),
+//     string-typed predicates (E104), malformed aggregates (E105), DERIVE
+//     schema conflicts (E106), structural query defects (E107-E109).
+//     Derived event types are resolved to a fixpoint, mirroring the plan
+//     translator, so queries may consume each other's outputs in any order.
+//   - satisfiability checks: contradictory predicate conjunctions via
+//     interval analysis (W201), SEQ patterns whose WITHIN bound is shorter
+//     than the strictly-increasing-timestamp minimum (W202), constant
+//     predicates via compile-time folding (W205).
+//   - optimizer-precondition checks (the analyzer <-> optimizer contract):
+//     contexts whose window bounds are not compile-time orderable and thus
+//     ineligible for window grouping (W203, a note), inverted window bounds
+//     (W204), more contexts than the runtime context vector holds (P301),
+//     plan-translator limitations surfaced as coded errors (P302, P303).
+//
+// The analyzer never mutates the model or its TypeRegistry; the only
+// exception is AnalyzerOptions::check_plan, which runs the real plan
+// translator (registering derived types) as a final end-to-end check.
+
+#ifndef CAESAR_ANALYSIS_ANALYZER_H_
+#define CAESAR_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "query/model.h"
+
+namespace caesar {
+
+struct AnalyzerOptions {
+  // Stamped into every diagnostic's `source` field (and thus the rendered
+  // "<source>:<line>:<col>:" prefix).
+  std::string source_name;
+
+  // Emit note-severity diagnostics (e.g. W203 ungroupable window). Notes
+  // never affect "lint clean" verdicts; turning them off just shrinks the
+  // report.
+  bool include_notes = true;
+
+  // Run the plan translator as a final end-to-end check and report any
+  // failure as P304. Registers derived event types into the model's
+  // TypeRegistry (the translator's normal side effect); leave off when the
+  // registry must stay untouched. Skipped when the analysis already found
+  // errors.
+  bool check_plan = false;
+};
+
+// Analyzes `model` (which should be Normalize()d or NormalizeLenient()ed)
+// and returns all diagnostics, deterministically sorted.
+std::vector<Diagnostic> AnalyzeModel(const CaesarModel& model,
+                                     const AnalyzerOptions& options = {});
+
+// Context-graph subset only (C001-C004): the checks strict ParseModel
+// enforces. Unknown context names are skipped here (AnalyzeModel reports
+// them as C005). Diagnostics carry no `source`; callers stamp it.
+std::vector<Diagnostic> AnalyzeContextGraph(const CaesarModel& model);
+
+}  // namespace caesar
+
+#endif  // CAESAR_ANALYSIS_ANALYZER_H_

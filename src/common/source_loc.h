@@ -1,0 +1,31 @@
+// A 1-based line:column position in model/query source text. Default
+// constructed (line 0) means "no location" — models built programmatically
+// carry no spans, and diagnostics render without a position prefix.
+
+#ifndef CAESAR_COMMON_SOURCE_LOC_H_
+#define CAESAR_COMMON_SOURCE_LOC_H_
+
+#include <string>
+
+namespace caesar {
+
+struct SourceLoc {
+  int line = 0;  // 1-based; 0 = unknown
+  int col = 0;   // 1-based; 0 = unknown
+
+  bool valid() const { return line > 0; }
+
+  // "3:14", or "" when unknown.
+  std::string ToString() const {
+    if (!valid()) return std::string();
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+inline bool operator==(const SourceLoc& a, const SourceLoc& b) {
+  return a.line == b.line && a.col == b.col;
+}
+
+}  // namespace caesar
+
+#endif  // CAESAR_COMMON_SOURCE_LOC_H_

@@ -24,9 +24,13 @@ std::string RunningStats::ToString() const {
 }
 
 Histogram::Histogram(double lo, double hi, int num_buckets)
-    : lo_(lo), hi_(hi), width_((hi - lo) / num_buckets), buckets_(num_buckets) {
+    : lo_(lo), hi_(hi) {
+  // Validate before the width division: a zero bucket count must hit the
+  // CHECK, not a divide-by-zero.
   CAESAR_CHECK_GT(num_buckets, 0);
   CAESAR_CHECK_LT(lo, hi);
+  width_ = (hi - lo) / num_buckets;
+  buckets_.resize(num_buckets);
 }
 
 void Histogram::Add(double x) {

@@ -61,7 +61,7 @@ class Histogram {
  private:
   double lo_;
   double hi_;
-  double width_;
+  double width_ = 0.0;
   std::vector<int64_t> buckets_;
   int64_t underflow_ = 0;
   int64_t overflow_ = 0;

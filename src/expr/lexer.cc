@@ -1,10 +1,40 @@
 #include "expr/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 namespace caesar {
 
 namespace {
+
+// Maps byte offsets to 1-based line:col against a precomputed table of
+// line-start offsets. The table is sorted, so a linear scan kept in step
+// with the (monotonically advancing) lexer cursor would do; binary search
+// keeps the helper usable for arbitrary offsets.
+SourceLoc LocAt(const std::vector<size_t>& line_starts, size_t offset) {
+  size_t lo = 0, hi = line_starts.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (line_starts[mid] <= offset) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  SourceLoc loc;
+  loc.line = static_cast<int>(lo + 1);
+  loc.col = static_cast<int>(offset - line_starts[lo] + 1);
+  return loc;
+}
+
+std::vector<size_t> BuildLineStarts(std::string_view input) {
+  std::vector<size_t> starts = {0};
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -47,13 +77,19 @@ bool Token::IsKeyword(std::string_view keyword) const {
 
 Result<std::vector<Token>> Tokenize(std::string_view input) {
   std::vector<Token> tokens;
+  const std::vector<size_t> line_starts = BuildLineStarts(input);
   size_t i = 0;
   auto push = [&](TokenKind kind, size_t position, std::string text = "") {
     Token token;
     token.kind = kind;
     token.text = std::move(text);
     token.position = static_cast<int>(position);
+    token.loc = LocAt(line_starts, position);
     tokens.push_back(std::move(token));
+  };
+  auto error = [&](const std::string& message, size_t position) {
+    return Status::ParseError(message + " at " +
+                              LocAt(line_starts, position).ToString());
   };
 
   while (i < input.size()) {
@@ -94,13 +130,21 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       std::string text(input.substr(start, i - start));
       Token token;
       token.position = static_cast<int>(start);
+      token.loc = LocAt(line_starts, start);
       token.text = text;
+      // strtoll/strtod instead of std::stoll/stod: the library reports
+      // malformed input through Status, never by throwing, and out-of-range
+      // literals must follow suit.
+      errno = 0;
       if (is_double) {
         token.kind = TokenKind::kDoubleLiteral;
-        token.double_value = std::stod(text);
+        token.double_value = std::strtod(text.c_str(), nullptr);
       } else {
         token.kind = TokenKind::kIntLiteral;
-        token.int_value = std::stoll(text);
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      if (errno == ERANGE) {
+        return error("numeric literal out of range", start);
       }
       tokens.push_back(std::move(token));
       continue;
@@ -114,14 +158,14 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
         ++i;
       }
       if (i >= input.size()) {
-        return Status::ParseError("unterminated string literal at offset " +
-                                  std::to_string(start));
+        return error("unterminated string literal", start);
       }
       ++i;  // closing quote
       Token token;
       token.kind = TokenKind::kStringLiteral;
       token.text = std::move(text);
       token.position = static_cast<int>(start);
+      token.loc = LocAt(line_starts, start);
       tokens.push_back(std::move(token));
       continue;
     }
@@ -152,8 +196,7 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       case '!':
         if (two('=')) { push(TokenKind::kNe, start); i += 2; }
         else {
-          return Status::ParseError("unexpected '!' at offset " +
-                                    std::to_string(start));
+          return error("unexpected '!'", start);
         }
         break;
       case '<':
@@ -166,8 +209,7 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
         else { push(TokenKind::kGt, start); ++i; }
         break;
       default:
-        return Status::ParseError(std::string("unexpected character '") + c +
-                                  "' at offset " + std::to_string(start));
+        return error(std::string("unexpected character '") + c + "'", start);
     }
   }
   push(TokenKind::kEnd, input.size());

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/source_loc.h"
 #include "common/status.h"
 
 namespace caesar {
@@ -41,7 +42,8 @@ struct Token {
   std::string text;     // identifier / literal spelling (unquoted for strings)
   int64_t int_value = 0;
   double double_value = 0.0;
-  int position = 0;     // byte offset in the input, for error messages
+  int position = 0;     // byte offset in the input
+  SourceLoc loc;        // 1-based line:col of the token start
 
   // Case-insensitive keyword match for identifier tokens.
   bool IsKeyword(std::string_view keyword) const;

@@ -138,8 +138,7 @@ class ExprParser {
   const Token& Peek() const { return tokens_[pos_]; }
 
   Status Error(const std::string& message) const {
-    return Status::ParseError(message + " at offset " +
-                              std::to_string(Peek().position));
+    return Status::ParseError(message + " at " + Peek().loc.ToString());
   }
 
   const std::vector<Token>& tokens_;
@@ -153,8 +152,8 @@ Result<ExprPtr> ParseExpr(std::string_view input) {
   size_t pos = 0;
   CAESAR_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprAt(tokens, &pos));
   if (tokens[pos].kind != TokenKind::kEnd) {
-    return Status::ParseError("trailing input after expression at offset " +
-                              std::to_string(tokens[pos].position));
+    return Status::ParseError("trailing input after expression at " +
+                              tokens[pos].loc.ToString());
   }
   return expr;
 }

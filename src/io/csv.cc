@@ -8,6 +8,8 @@
 #include <queue>
 #include <sstream>
 
+#include "analysis/diagnostics.h"
+
 namespace caesar {
 
 namespace {
@@ -70,10 +72,14 @@ Result<ValueType> ParseValueType(const std::string& name) {
   return Status::ParseError("unknown attribute type: " + name);
 }
 
-// "<stream>:<line>: <message>" — every reader error carries its location.
+// "<stream>:<line>: error[I406]: <message>" — every reader error carries
+// its location plus the malformed-CSV diagnostic code (the same I4xx
+// vocabulary the ingest quarantine uses; analysis/diagnostics.h).
 Status AtLine(const std::string& stream_name, int64_t line, StatusCode code,
               const std::string& message) {
-  return Status(code, stream_name + ":" + std::to_string(line) + ": " +
+  return Status(code, stream_name + ":" + std::to_string(line) +
+                          ": error[" +
+                          DiagCodeName(DiagCode::kI406MalformedCsv) + "]: " +
                           message);
 }
 

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "optimizer/optimizer.h"
 #include "plan/translator.h"
 #include "runtime/engine.h"
@@ -572,6 +573,59 @@ Result<ReproSpec> ShrinkRepro(const ReproSpec& spec, bool full_matrix) {
   return cur;
 }
 
+namespace {
+
+// The fuzz harness's lint leg: a clean generated model must produce no
+// error/warning diagnostics; a mutated one must produce the mutation's
+// paired code. Returns a "diverged" report on leg "lint" when the analyzer
+// misbehaves either way.
+Result<DivergenceReport> RunLintLeg(const ReproSpec& spec,
+                                    const std::string& model_mutation) {
+  DivergenceReport report;
+  TypeRegistry registry;
+  CAESAR_ASSIGN_OR_RETURN(MaterializedCase c, Materialize(spec, &registry));
+  AnalyzerOptions analyzer_options;
+  analyzer_options.source_name = "<generated>";
+  analyzer_options.include_notes = false;
+  if (model_mutation.empty()) {
+    std::vector<Diagnostic> diags = AnalyzeModel(c.model, analyzer_options);
+    if (HasErrorsOrWarnings(diags)) {
+      report.diverged = true;
+      report.leg = "lint";
+      report.detail = "generated model does not lint clean: " +
+                      FormatDiagnostic(diags.front());
+    }
+    return report;
+  }
+  std::string expected_code;
+  Result<CaesarModel> mutated =
+      MutateModel(c.model, model_mutation, &expected_code);
+  if (!mutated.ok()) {
+    // The case lacks the shape this mutation needs; nothing to check.
+    if (mutated.status().code() == StatusCode::kFailedPrecondition) {
+      return report;
+    }
+    return mutated.status();
+  }
+  std::vector<Diagnostic> diags =
+      AnalyzeModel(mutated.value(), analyzer_options);
+  bool flagged = false;
+  for (const Diagnostic& diag : diags) {
+    if (DiagCodeName(diag.code) == expected_code) flagged = true;
+  }
+  if (!flagged) {
+    report.diverged = true;
+    report.leg = "lint";
+    report.detail = "mutation '" + model_mutation +
+                    "' not flagged with expected diagnostic " + expected_code +
+                    " (got " + std::to_string(diags.size()) +
+                    " diagnostics)";
+  }
+  return report;
+}
+
+}  // namespace
+
 Result<FuzzResult> RunFuzz(const FuzzOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   FuzzResult result;
@@ -580,6 +634,24 @@ Result<FuzzResult> RunFuzz(const FuzzOptions& options) {
     spec.seed = options.seed + static_cast<uint64_t>(i);
     spec.generator = options.generator;
     spec.bug = options.bug;
+    if (options.lint || !options.model_mutation.empty()) {
+      CAESAR_ASSIGN_OR_RETURN(DivergenceReport lint_report,
+                              RunLintLeg(spec, options.model_mutation));
+      if (lint_report.diverged) {
+        result.iterations_run = i + 1;
+        result.diverged = true;
+        result.report = lint_report;
+        result.repro = spec;
+        result.repro.expect = "diverge";
+        result.repro.note = "leg lint";
+        return result;
+      }
+      if (!options.model_mutation.empty()) {
+        // Sensitivity-only run: the mutated model is not meant to execute.
+        result.iterations_run = i + 1;
+        continue;
+      }
+    }
     CAESAR_ASSIGN_OR_RETURN(DivergenceReport report,
                             ReplayRepro(spec, options.full_matrix));
     result.iterations_run = i + 1;

@@ -141,6 +141,18 @@ struct FuzzOptions {
   bool full_matrix = true;
   std::string bug;            // oracle fault injection for sensitivity runs
   GeneratorOptions generator;
+
+  // Lint leg (analysis/analyzer.h): every generated model must analyze
+  // clean — no error- or warning-severity diagnostics (notes are
+  // expected; e.g. the non-groupable helper window). A lint hit counts as
+  // a divergence on leg "lint".
+  bool lint = true;
+
+  // Sensitivity variant of the lint leg: apply this named model mutation
+  // (generator.h ModelMutationNames) to each generated model and require
+  // the analyzer to report the mutation's paired diagnostic code. Skips
+  // the engine/oracle comparison (the mutated model is not meant to run).
+  std::string model_mutation;
 };
 
 struct FuzzResult {

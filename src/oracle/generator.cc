@@ -1,12 +1,15 @@
 #include "oracle/generator.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/rng.h"
 #include "event/value.h"
+#include "expr/analysis.h"
 #include "expr/expr.h"
+#include "optimizer/overlap_analysis.h"
 
 namespace caesar {
 namespace {
@@ -563,6 +566,184 @@ Result<CaesarModel> RestrictQueries(const CaesarModel& model,
   }
   CAESAR_RETURN_IF_ERROR(restricted.Normalize());
   return restricted;
+}
+
+namespace {
+
+// A raw input type some query already reads (for synthesizing pattern
+// clauses in mutations); empty if the model has no positive pattern items.
+std::string AnyInputType(const CaesarModel& model) {
+  for (const Query& query : model.queries()) {
+    if (!query.pattern.has_value()) continue;
+    for (const PatternItem& item : query.pattern->items) {
+      if (!item.negated) return item.event_type;
+    }
+  }
+  return "";
+}
+
+Query EventMatchQuery(std::string name, const std::string& input_type) {
+  Query query;
+  query.name = std::move(name);
+  PatternSpec pattern;
+  pattern.kind = PatternSpec::Kind::kEvent;
+  pattern.items.push_back(PatternItem{input_type, "m", false});
+  query.pattern = std::move(pattern);
+  return query;
+}
+
+}  // namespace
+
+std::vector<std::string> ModelMutationNames() {
+  return {"unreachable_context", "self_loop_switch", "dead_query",
+          "unknown_attribute",   "type_error",       "contradiction",
+          "trailing_negation",   "inverted_window"};
+}
+
+Result<CaesarModel> MutateModel(const CaesarModel& model,
+                                const std::string& mutation,
+                                std::string* expected_code) {
+  CaesarModel mutated = model;
+  const std::string input_type = AnyInputType(model);
+  if (input_type.empty()) {
+    return Status::FailedPrecondition("model has no pattern inputs to mutate");
+  }
+
+  if (mutation == "unreachable_context") {
+    // A declared context nobody INITIATEs or SWITCHes to.
+    CAESAR_RETURN_IF_ERROR(mutated.AddContext("mut_ghost"));
+    *expected_code = "C001";
+    return mutated;
+  }
+
+  if (mutation == "self_loop_switch") {
+    // SWITCH gated on its own target context.
+    Query query = EventMatchQuery("mut_selfloop", input_type);
+    query.action = ContextAction::kSwitch;
+    query.target_context = model.default_context();
+    query.contexts = {model.default_context()};
+    CAESAR_RETURN_IF_ERROR(mutated.AddQuery(std::move(query)).status());
+    *expected_code = "C002";
+    return mutated;
+  }
+
+  if (mutation == "dead_query") {
+    // Two contexts that only initiate each other: both are targeted by
+    // some query (so C001 stays quiet) but neither can ever become active.
+    CAESAR_RETURN_IF_ERROR(mutated.AddContext("mut_isle_a"));
+    CAESAR_RETURN_IF_ERROR(mutated.AddContext("mut_isle_b"));
+    Query qa = EventMatchQuery("mut_dead_a", input_type);
+    qa.action = ContextAction::kInitiate;
+    qa.target_context = "mut_isle_a";
+    qa.contexts = {"mut_isle_b"};
+    Query qb = EventMatchQuery("mut_dead_b", input_type);
+    qb.action = ContextAction::kInitiate;
+    qb.target_context = "mut_isle_b";
+    qb.contexts = {"mut_isle_a"};
+    CAESAR_RETURN_IF_ERROR(mutated.AddQuery(std::move(qa)).status());
+    CAESAR_RETURN_IF_ERROR(mutated.AddQuery(std::move(qb)).status());
+    *expected_code = "C004";
+    return mutated;
+  }
+
+  if (mutation == "unknown_attribute") {
+    // Reference an attribute no schema in scope defines.
+    for (int qi = 0; qi < mutated.num_queries(); ++qi) {
+      Query* query = mutated.mutable_query(qi);
+      if (!query->pattern.has_value() || query->where == nullptr) continue;
+      query->where = MakeConjunction(
+          query->where, MakeBinary(BinaryOp::kGe,
+                                   MakeAttrRef("mut_no_such_attr"),
+                                   MakeConstant(int64_t{0})));
+      *expected_code = "E102";
+      return mutated;
+    }
+    return Status::FailedPrecondition("no query with a WHERE to mutate");
+  }
+
+  if (mutation == "type_error" || mutation == "contradiction") {
+    // Both need a threshold conjunct to anchor on; `contradiction`
+    // additionally needs the whole conjunction to be interval-exact so the
+    // empty intersection is provable.
+    for (int qi = 0; qi < mutated.num_queries(); ++qi) {
+      Query* query = mutated.mutable_query(qi);
+      if (!query->pattern.has_value() || query->where == nullptr) continue;
+      std::vector<ExprPtr> conjuncts = SplitConjuncts(query->where);
+      std::optional<AttrConstraint> anchor;
+      bool all_exact = true;
+      for (const ExprPtr& conjunct : conjuncts) {
+        std::optional<AttrConstraint> constraint =
+            ExtractConstraint(conjunct);
+        if (!constraint.has_value()) {
+          all_exact = false;
+          continue;
+        }
+        if (!anchor.has_value()) anchor = constraint;
+      }
+      if (!anchor.has_value()) continue;
+      if (mutation == "type_error") {
+        // Compare the (numeric) anchored attribute against a string.
+        query->where = MakeConjunction(
+            query->where,
+            MakeBinary(BinaryOp::kEq,
+                       MakeAttrRef(anchor->variable, anchor->attribute),
+                       MakeConstant("mut_oops")));
+        *expected_code = "E103";
+        return mutated;
+      }
+      if (!all_exact) continue;
+      // Contradiction: force the anchored attribute into an empty interval.
+      query->where = MakeConjunction(
+          query->where,
+          MakeConjunction(
+              MakeBinary(BinaryOp::kGt,
+                         MakeAttrRef(anchor->variable, anchor->attribute),
+                         MakeConstant(int64_t{1} << 40)),
+              MakeBinary(BinaryOp::kLt,
+                         MakeAttrRef(anchor->variable, anchor->attribute),
+                         MakeConstant(-(int64_t{1} << 40)))));
+      *expected_code = "W201";
+      return mutated;
+    }
+    return Status::FailedPrecondition("no threshold conjunct to mutate");
+  }
+
+  if (mutation == "trailing_negation") {
+    // Self-contained SEQ ending in NOT (the translator rejects this; the
+    // linter reports it as a coded error before translation).
+    Query query;
+    query.name = "mut_trailing";
+    DeriveSpec derive;
+    derive.event_type = "MutTrailingOut";
+    derive.args.push_back(MakeConstant(int64_t{1}));
+    derive.attr_names = {"one"};
+    query.derive = std::move(derive);
+    PatternSpec pattern;
+    pattern.kind = PatternSpec::Kind::kSeq;
+    pattern.items.push_back(PatternItem{input_type, "a", false});
+    pattern.items.push_back(PatternItem{input_type, "b", true});
+    query.pattern = std::move(pattern);
+    query.contexts = {model.default_context()};
+    CAESAR_RETURN_IF_ERROR(mutated.AddQuery(std::move(query)).status());
+    *expected_code = "P302";
+    return mutated;
+  }
+
+  if (mutation == "inverted_window") {
+    // Swap the threshold predicates of a groupable window's initiator and
+    // terminator, so the window would close before it opens.
+    std::vector<WindowBounds> bounds = ExtractWindowBounds(model);
+    if (bounds.empty()) {
+      return Status::FailedPrecondition("no groupable window to invert");
+    }
+    Query* init = mutated.mutable_query(bounds[0].initiator_query);
+    Query* term = mutated.mutable_query(bounds[0].terminator_query);
+    std::swap(init->where, term->where);
+    *expected_code = "W204";
+    return mutated;
+  }
+
+  return Status::InvalidArgument("unknown model mutation: " + mutation);
 }
 
 EventBatch DisorderStream(const EventBatch& clean, uint64_t seed,

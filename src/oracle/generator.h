@@ -112,6 +112,21 @@ Result<CaesarModel> RestrictQueries(const CaesarModel& model,
 EventBatch DisorderStream(const EventBatch& clean, uint64_t seed,
                           Timestamp max_delay);
 
+// Named model mutations for the lint oracle (tools/caesar_lint
+// --inject-bug, and the fuzz harness's lint leg): each breaks a
+// well-formed model in a way the static analyzer must flag with the paired
+// diagnostic code, while the unmutated model lints clean.
+std::vector<std::string> ModelMutationNames();
+
+// Applies the named mutation to a copy of `model` and sets *expected_code
+// to the diagnostic code ("C001", "W204", ...) the linter must report.
+// Fails on unknown mutation names, or with FailedPrecondition when the
+// model lacks the shape the mutation needs (e.g. no groupable window to
+// invert); callers treat that as "skip".
+Result<CaesarModel> MutateModel(const CaesarModel& model,
+                                const std::string& mutation,
+                                std::string* expected_code);
+
 // Inserts malformed rows (unknown type id, negative occurrence time,
 // inverted interval) and beyond-slack stragglers into `stream`. None of
 // the injected events can be admitted by a reorder ingest with the given

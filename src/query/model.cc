@@ -110,12 +110,13 @@ std::string Query::ToString() const {
   return os.str();
 }
 
-Status CaesarModel::AddContext(const std::string& name) {
+Status CaesarModel::AddContext(const std::string& name, SourceLoc loc) {
   if (ContextIndex(name) >= 0) {
     return Status::AlreadyExists("context already declared: " + name);
   }
   ContextType context;
   context.name = name;
+  context.loc = loc;
   contexts_.push_back(std::move(context));
   if (default_context_.empty()) default_context_ = name;
   return Status::Ok();
@@ -169,6 +170,36 @@ Status CaesarModel::Normalize() {
     }
   }
   return Status::Ok();
+}
+
+void CaesarModel::NormalizeLenient() {
+  // Implied CONTEXT clauses (skipped when no context is declared at all;
+  // the analyzer reports that as its own diagnostic).
+  if (!contexts_.empty()) {
+    for (Query& query : queries_) {
+      if (query.contexts.empty()) {
+        query.contexts.push_back(default_context_);
+      }
+    }
+  }
+  // Workloads for contexts that resolve; unknown names are left for the
+  // analyzer (C005) rather than failing.
+  for (ContextType& context : contexts_) {
+    context.deriving_queries.clear();
+    context.processing_queries.clear();
+  }
+  for (int qi = 0; qi < num_queries(); ++qi) {
+    const Query& query = queries_[qi];
+    for (const std::string& context_name : query.contexts) {
+      int ci = ContextIndex(context_name);
+      if (ci < 0) continue;
+      if (query.IsContextDeriving()) {
+        contexts_[ci].deriving_queries.push_back(qi);
+      } else {
+        contexts_[ci].processing_queries.push_back(qi);
+      }
+    }
+  }
 }
 
 Status CaesarModel::Validate() const {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/source_loc.h"
 #include "common/status.h"
 #include "event/event.h"
 #include "event/schema.h"
@@ -118,6 +119,13 @@ struct Query {
   // API only.
   bool derivation_helper = false;
 
+  // Source spans (set by the textual parser; invalid for programmatic
+  // models). `loc` anchors the query as a whole; the clause locs anchor
+  // diagnostics about the respective clause.
+  SourceLoc loc;
+  SourceLoc pattern_loc;
+  SourceLoc where_loc;
+
   bool IsContextDeriving() const {
     return action != ContextAction::kNone || derivation_helper;
   }
@@ -132,6 +140,7 @@ struct ContextType {
   std::string name;
   std::vector<int> deriving_queries;
   std::vector<int> processing_queries;
+  SourceLoc loc;  // declaration site (textual models only)
 };
 
 // The CAESAR model (Definition 4): (I, O, C, c_d). Input/output streams are
@@ -146,7 +155,7 @@ class CaesarModel {
 
   // Declares a context type. The first declared context is the default
   // unless SetDefaultContext overrides it.
-  Status AddContext(const std::string& name);
+  Status AddContext(const std::string& name, SourceLoc loc = {});
   Status SetDefaultContext(const std::string& name);
   const std::string& default_context() const { return default_context_; }
 
@@ -162,6 +171,10 @@ class CaesarModel {
   int num_queries() const { return static_cast<int>(queries_.size()); }
   const Query& query(int i) const { return queries_[i]; }
   const std::vector<Query>& queries() const { return queries_; }
+  // In-place query access for model-rewriting tools (the lint-oracle
+  // mutations of oracle/generator.h). Invalidates nothing; callers that
+  // change CONTEXT clauses should re-run Normalize[Lenient].
+  Query* mutable_query(int i) { return &queries_[i]; }
 
   // Partitioning: contexts hold per stream partition (per unidirectional
   // road segment in Linear Road). Events are partitioned by the values of
@@ -182,6 +195,12 @@ class CaesarModel {
   // Checks structural validity: known contexts, patterns present, derive or
   // action present, context-action consistency. Called by Normalize.
   Status Validate() const;
+
+  // Best-effort Normalize for analysis tooling: applies implied CONTEXT
+  // clauses and populates workloads for contexts that resolve, but never
+  // fails — the analyzer reports validity violations as coded diagnostics
+  // instead (see analysis/analyzer.h).
+  void NormalizeLenient();
 
   std::string ToString() const;
 

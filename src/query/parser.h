@@ -18,10 +18,20 @@
 // Queries and declarations are ';'-terminated. Clause keywords are
 // case-insensitive. The CONTEXT clause may be omitted (the model implies the
 // default context; see CaesarModel::Normalize).
+//
+// Standalone model files may declare their input event schemas inline so
+// linting needs no host program:
+//
+//   TYPE PositionReport(vid int, speed int, xway int);
+//
+// Error messages follow the "<source>:<line>:<col>: " prefix convention of
+// the tolerant CSV reader; parsed queries carry source spans for the
+// analyzer (see analysis/diagnostics.h).
 
 #ifndef CAESAR_QUERY_PARSER_H_
 #define CAESAR_QUERY_PARSER_H_
 
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
@@ -30,9 +40,23 @@
 
 namespace caesar {
 
-// Parses a complete model (context declarations plus queries) and
-// normalizes it. `registry` must outlive the returned model.
+struct ParseModelOptions {
+  // Names the source in error prefixes and diagnostic spans.
+  std::string source_name = "<model>";
+
+  // Strict (the default): Normalize/Validate failures and context-graph
+  // errors (unreachable contexts C001, self-loop switches C002) reject the
+  // parse. Lenient: the model is returned after a best-effort normalize so
+  // the analyzer can report those as coded diagnostics (analysis/).
+  bool strict = true;
+};
+
+// Parses a complete model (type/context declarations plus queries) and
+// normalizes it. `registry` must outlive the returned model; inline TYPE
+// declarations are registered into it.
 Result<CaesarModel> ParseModel(std::string_view text, TypeRegistry* registry);
+Result<CaesarModel> ParseModel(std::string_view text, TypeRegistry* registry,
+                               const ParseModelOptions& options);
 
 // Parses a single query (without the trailing ';').
 Result<Query> ParseQuery(std::string_view text);

@@ -4,8 +4,10 @@
 #include <sstream>
 
 #include "algebra/context_ops.h"
+#include "analysis/analyzer.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "plan/translator.h"
 
 namespace caesar {
 
@@ -215,6 +217,30 @@ Result<std::unique_ptr<Engine>> Engine::Create(ExecutablePlan plan,
   return std::make_unique<Engine>(std::move(plan), std::move(options));
 }
 
+Result<std::unique_ptr<Engine>> Engine::Create(const CaesarModel& model,
+                                               const PlanOptions& plan_options,
+                                               EngineOptions options) {
+  CAESAR_RETURN_IF_ERROR(options.Validate());
+  std::vector<std::string> retained;
+  if (options.analysis != AnalysisMode::kOff) {
+    AnalyzerOptions analyzer_options;
+    analyzer_options.source_name = "<model>";
+    analyzer_options.include_notes = false;
+    for (const Diagnostic& diag : AnalyzeModel(model, analyzer_options)) {
+      if (diag.severity == DiagSeverity::kError &&
+          options.analysis == AnalysisMode::kStrict) {
+        return Status::InvalidArgument(FormatDiagnostic(diag));
+      }
+      retained.push_back(FormatDiagnostic(diag));
+    }
+  }
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan plan,
+                          TranslateModel(model, plan_options));
+  auto engine = std::make_unique<Engine>(std::move(plan), std::move(options));
+  engine->analysis_diagnostics_ = std::move(retained);
+  return engine;
+}
+
 Engine::Engine(ExecutablePlan plan, EngineOptions options)
     : plan_(std::move(plan)),
       options_(std::move(options)),
@@ -406,7 +432,8 @@ Status Engine::IngestBatch(const EventBatch& input, EventBatch* admitted,
       if (ClassifyMalformed(*input[i], &reason)) {
         return Status::InvalidArgument(
             "strict ingest: malformed event at index " + std::to_string(i) +
-            " (" + QuarantineReasonName(reason) +
+            " (" + QuarantineReasonName(reason) + ", " +
+            DiagCodeName(QuarantineDiagCode(reason)) +
             "); use IngestPolicy::kDrop or kReorder to quarantine instead");
       }
     }
@@ -820,6 +847,7 @@ StatisticsReport Engine::CollectStatistics() const {
     report.executor = executor_->metrics();
   }
   report.ingest = ingest_metrics_;
+  report.analysis_diagnostics = analysis_diagnostics_;
   if (options_.metrics >= MetricsGranularity::kEngine) {
     report.ticks = tick_metrics_;
     report.timeline = timeline_->Snapshot();

@@ -46,6 +46,18 @@
 
 namespace caesar {
 
+class CaesarModel;
+struct PlanOptions;
+
+// What the model-based Engine::Create overload does with static-analysis
+// results (analysis/analyzer.h). Ignored by the plan-based overload, which
+// has no model to analyze.
+enum class AnalysisMode : int8_t {
+  kOff = 0,  // skip analysis
+  kWarn,     // run it; diagnostics surface via CollectStatistics()
+  kStrict,   // error-severity diagnostics reject Create with a Status
+};
+
 // Engine configuration.
 struct EngineOptions {
   // Worker threads for per-partition transactions. 1 = serial on the
@@ -104,6 +116,9 @@ struct EngineOptions {
   // How many quarantined events the dead-letter sink retains in full
   // (counters stay exact past this bound).
   size_t quarantine_capacity = 1024;
+
+  // Static model analysis during the model-based Create (see AnalysisMode).
+  AnalysisMode analysis = AnalysisMode::kOff;
 
   // Checks option invariants (num_threads >= 1, reorder_slack >= 0, accel
   // and seconds_per_tick positive, gc_interval >= 1, gc_horizon >= 0,
@@ -170,6 +185,16 @@ class Engine {
   // option) instead of constructing an engine from bad configuration.
   static Result<std::unique_ptr<Engine>> Create(ExecutablePlan plan,
                                                 EngineOptions options);
+
+  // Model-based construction: optionally lints the model first
+  // (options.analysis), then translates and builds the engine. Under
+  // kStrict, analysis errors reject creation with the first formatted
+  // diagnostic; under kWarn (and kStrict without errors) the formatted
+  // error/warning diagnostics are retained and surfaced through
+  // CollectStatistics().
+  static Result<std::unique_ptr<Engine>> Create(
+      const CaesarModel& model, const PlanOptions& plan_options,
+      EngineOptions options);
 
   // Direct construction for known-good options; aborts if
   // options.Validate() fails (use Create to handle that as a Status).
@@ -261,6 +286,10 @@ class Engine {
   ExecutablePlan plan_;
   EngineOptions options_;
   TickObserver observer_;
+
+  // Formatted error/warning diagnostics from the model-based Create (empty
+  // otherwise); copied into StatisticsReport::analysis_diagnostics.
+  std::vector<std::string> analysis_diagnostics_;
 
   // Partition attribute indices per event type (-1 = attribute absent).
   // Resolved eagerly for every type known at construction so event

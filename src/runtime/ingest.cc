@@ -32,6 +32,22 @@ const char* QuarantineReasonName(QuarantineReason reason) {
   return "?";
 }
 
+DiagCode QuarantineDiagCode(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kOutOfOrder:
+      return DiagCode::kI401OutOfOrder;
+    case QuarantineReason::kLateBeyondSlack:
+      return DiagCode::kI402LateBeyondSlack;
+    case QuarantineReason::kUnknownType:
+      return DiagCode::kI403UnknownType;
+    case QuarantineReason::kNegativeTime:
+      return DiagCode::kI404NegativeTime;
+    case QuarantineReason::kInvertedInterval:
+      return DiagCode::kI405InvertedInterval;
+  }
+  return DiagCode::kI401OutOfOrder;
+}
+
 void QuarantineSink::Add(EventPtr event, QuarantineReason reason,
                          uint64_t partition_key) {
   ++total_;

@@ -39,6 +39,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "event/event.h"
 
 namespace caesar {
@@ -65,7 +66,15 @@ enum class QuarantineReason : int8_t {
 inline constexpr int kNumQuarantineReasons = 5;
 
 // Human-readable reason name ("out_of_order", "late_beyond_slack", ...).
+// The names are part of the metrics-export schema; diagnostics instead
+// carry the stable I4xx code below, so the two vocabularies can evolve
+// independently of the golden files.
 const char* QuarantineReasonName(QuarantineReason reason);
+
+// The diagnostic code (analysis/diagnostics.h, I4xx family) for a
+// quarantine reason — the shared vocabulary between ingest telemetry,
+// reader errors, and caesar_lint.
+DiagCode QuarantineDiagCode(QuarantineReason reason);
 
 // One dead-lettered event with its rejection reason and the partition it
 // would have been routed to (0 when the partition cannot be determined,

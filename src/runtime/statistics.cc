@@ -21,6 +21,12 @@ double StatisticsReport::reorder_rate() const {
 std::string StatisticsReport::ToString() const {
   std::ostringstream os;
   os << "observed context activity: " << observed_context_activity << "\n";
+  if (!analysis_diagnostics.empty()) {
+    os << "analysis diagnostics:\n";
+    for (const std::string& diag : analysis_diagnostics) {
+      os << "  " << diag << "\n";
+    }
+  }
   if (executor_workers > 0) {
     os << "executor: workers=" << executor_workers
        << " ticks=" << executor.ticks << " tasks=" << executor.tasks

@@ -94,6 +94,12 @@ struct StatisticsReport {
   int executor_workers = 0;
   ExecutorMetrics executor;
 
+  // Formatted static-analysis diagnostics from the model-based
+  // Engine::Create under AnalysisMode::kWarn/kStrict (errors and warnings;
+  // empty otherwise). Deliberately absent from the JSON/Prometheus exports,
+  // which carry runtime telemetry only.
+  std::vector<std::string> analysis_diagnostics;
+
   // Ingest/degradation snapshot (cumulative over the engine's lifetime):
   // the graceful-degradation counters plus the quarantine breakdown by
   // rejection reason and by stream partition.

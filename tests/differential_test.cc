@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
 #include "oracle/differential.h"
 #include "oracle/generator.h"
 
@@ -125,6 +127,40 @@ TEST(ReproSpecTest, FormatParseRoundTrip) {
   EXPECT_EQ(back.events, spec.events);
   EXPECT_EQ(back.expect, spec.expect);
   EXPECT_EQ(back.bug, spec.bug);
+}
+
+// The lint leg's standing invariant: every well-formed generated model
+// analyzes clean — no error- or warning-severity diagnostics (notes such
+// as the non-groupable helper window are expected). 50 seeds, analyzer
+// only, so the sweep stays cheap.
+TEST(LintLegTest, FiftyGeneratedModelsLintClean) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    TypeRegistry registry;
+    auto generated = GenerateCase(seed, &registry);
+    ASSERT_TRUE(generated.ok()) << "seed " << seed << ": "
+                                << generated.status();
+    AnalyzerOptions options;
+    options.source_name = "<seed " + std::to_string(seed) + ">";
+    options.include_notes = false;
+    auto diags = AnalyzeModel(generated.value().model, options);
+    EXPECT_FALSE(HasErrorsOrWarnings(diags))
+        << "seed " << seed << ": " << FormatDiagnostic(diags.front());
+  }
+}
+
+// The fuzz loop's mutation mode: a planted model bug must surface as a
+// lint-leg divergence carrying the paired diagnostic code.
+TEST(LintLegTest, FuzzLoopFlagsPlantedModelBugs) {
+  FuzzOptions options;
+  options.seed = 401;
+  options.iters = 3;
+  options.full_matrix = false;
+  options.model_mutation = "unreachable_context";
+  auto result = RunFuzz(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result.value().diverged)
+      << result.value().report.detail;  // mutation was flagged every time
+  EXPECT_EQ(result.value().iterations_run, 3);
 }
 
 TEST(ReproSpecTest, UnknownKeysAndBadValuesAreRejected) {

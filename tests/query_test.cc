@@ -261,6 +261,34 @@ TEST(ParserTest, UnreachableContextIsRejectedByName) {
   EXPECT_TRUE(fixed.ok()) << fixed.status();
 }
 
+TEST(ParserTest, ErrorsFollowTheSourceLineColPrefixConvention) {
+  // Strict-mode rejections are rendered as coded diagnostics with the
+  // "<source>:<line>:<col>: " prefix (the convention shared with the
+  // tolerant CSV reader and caesar_lint).
+  TypeRegistry registry;
+  ParseModelOptions options;
+  options.source_name = "models/bad.caesar";
+  auto model = ParseModel(
+      "CONTEXTS idle, ghost DEFAULT idle;\n"
+      "QUERY q DERIVE X(p.v) PATTERN E p CONTEXT ghost;\n",
+      &registry, options);
+  ASSERT_FALSE(model.ok());
+  // `ghost` is declared on line 1 at column 16.
+  EXPECT_NE(model.status().message().find("models/bad.caesar:1:16: "),
+            std::string::npos)
+      << model.status();
+  EXPECT_NE(model.status().message().find("error[C001]: "),
+            std::string::npos)
+      << model.status();
+
+  // Tokenizer failures carry the source prefix too.
+  auto junk = ParseModel("QUERY ???", &registry, options);
+  ASSERT_FALSE(junk.ok());
+  EXPECT_NE(junk.status().message().find("models/bad.caesar"),
+            std::string::npos)
+      << junk.status();
+}
+
 TEST(ParserTest, SelfLoopSwitchIsRejectedByName) {
   TypeRegistry registry;
   auto model = ParseModel(

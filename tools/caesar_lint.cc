@@ -1,0 +1,306 @@
+// caesar_lint: static semantic analyzer CLI for CAESAR models.
+//
+// Modes:
+//   caesar_lint [options] FILE...
+//     Lints textual model files (with inline TYPE declarations; see
+//     src/query/parser.h). Syntax errors are reported with the
+//     "<file>:<line>:<col>:" prefix and exit 2.
+//   caesar_lint --builtin linear_road|pamap|synthetic|all
+//     Lints the in-repo workload models.
+//   caesar_lint --seed N [--iters M]
+//     Lints generated fuzz models (oracle/generator.h). Well-formed
+//     generated models must be clean.
+//   caesar_lint --seed N --inject-bug NAME
+//     Applies the named model mutation (see --list-bugs) to each generated
+//     model; the mutated model must NOT lint clean, and the report carries
+//     the mutation's paired diagnostic code.
+//   caesar_lint --selfcheck [--seed N] [--iters M]
+//     Sweeps every mutation over the seeds and verifies (a) base models
+//     lint clean and (b) each mutation is flagged with its paired code.
+//
+// Options:
+//   --format=human|json|sarif   output format (default human). JSON and
+//                               SARIF are deterministic: byte-identical
+//                               across repeat runs on the same input.
+//   --no-notes                  drop note-severity diagnostics
+//   --list-bugs                 print the model mutation names and exit
+//
+// Exit codes: 0 = clean (no errors or warnings; notes allowed),
+// 1 = diagnostics at warning severity or above (or selfcheck failure),
+// 2 = usage, I/O, or syntax error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "oracle/generator.h"
+#include "query/parser.h"
+#include "workloads/linear_road.h"
+#include "workloads/pamap.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using caesar::AnalyzeModel;
+using caesar::AnalyzerOptions;
+using caesar::CaesarModel;
+using caesar::Diagnostic;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--format=human|json|sarif] [--no-notes] FILE...\n"
+      "       %s --builtin linear_road|pamap|synthetic|all\n"
+      "       %s --seed N [--iters M] [--inject-bug NAME]\n"
+      "       %s --selfcheck [--seed N] [--iters M]\n"
+      "       %s --list-bugs\n",
+      argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+struct LintRun {
+  AnalyzerOptions analyzer;
+  std::vector<Diagnostic> diagnostics;
+
+  // Analyzes `model`, stamping `source` into the diagnostics.
+  void Lint(const CaesarModel& model, const std::string& source) {
+    AnalyzerOptions options = analyzer;
+    options.source_name = source;
+    for (Diagnostic& diag : AnalyzeModel(model, options)) {
+      diagnostics.push_back(std::move(diag));
+    }
+  }
+};
+
+// Renders and prints the merged report; returns the process exit code.
+int Report(LintRun* run, const std::string& format) {
+  caesar::SortDiagnostics(&run->diagnostics);
+  if (format == "json") {
+    std::fputs(caesar::DiagnosticsToJson(run->diagnostics).c_str(), stdout);
+  } else if (format == "sarif") {
+    std::fputs(caesar::DiagnosticsToSarif(run->diagnostics).c_str(), stdout);
+  } else {
+    for (const Diagnostic& diag : run->diagnostics) {
+      std::printf("%s\n", caesar::FormatDiagnostic(diag).c_str());
+    }
+  }
+  return caesar::HasErrorsOrWarnings(run->diagnostics) ? 1 : 0;
+}
+
+bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const Diagnostic& diag : diags) {
+    if (caesar::DiagCodeName(diag.code) == code) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "human";
+  bool include_notes = true;
+  bool selfcheck = false;
+  bool list_bugs = false;
+  bool have_seed = false;
+  uint64_t seed = 1;
+  int iters = 1;
+  std::string builtin;
+  std::string inject_bug;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "human" && format != "json" && format != "sarif") {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--format") {
+      format = next();
+    } else if (arg == "--no-notes") {
+      include_notes = false;
+    } else if (arg == "--builtin") {
+      builtin = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+      have_seed = true;
+    } else if (arg == "--iters") {
+      iters = std::atoi(next());
+    } else if (arg == "--inject-bug") {
+      inject_bug = next();
+    } else if (arg == "--selfcheck") {
+      selfcheck = true;
+    } else if (arg == "--list-bugs") {
+      list_bugs = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_bugs) {
+    for (const std::string& name : caesar::ModelMutationNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  LintRun run;
+  run.analyzer.include_notes = include_notes;
+
+  // ---- Selfcheck: mutation sensitivity sweep --------------------------
+  if (selfcheck) {
+    int failures = 0;
+    int checked = 0;
+    for (int i = 0; i < iters; ++i) {
+      const uint64_t s = seed + static_cast<uint64_t>(i);
+      caesar::TypeRegistry registry;
+      auto generated = caesar::GenerateCase(s, &registry);
+      if (!generated.ok()) {
+        std::fprintf(stderr, "seed %llu: %s\n",
+                     static_cast<unsigned long long>(s),
+                     generated.status().ToString().c_str());
+        return 2;
+      }
+      AnalyzerOptions options;
+      options.source_name = "<seed " + std::to_string(s) + ">";
+      options.include_notes = false;
+      auto base = AnalyzeModel(generated.value().model, options);
+      if (caesar::HasErrorsOrWarnings(base)) {
+        std::fprintf(stderr, "FAIL seed %llu: base model not clean: %s\n",
+                     static_cast<unsigned long long>(s),
+                     caesar::FormatDiagnostic(base.front()).c_str());
+        ++failures;
+      }
+      for (const std::string& mutation : caesar::ModelMutationNames()) {
+        std::string expected;
+        auto mutated =
+            caesar::MutateModel(generated.value().model, mutation, &expected);
+        if (!mutated.ok()) continue;  // shape not present in this model
+        auto diags = AnalyzeModel(mutated.value(), options);
+        ++checked;
+        if (!HasCode(diags, expected)) {
+          std::fprintf(stderr,
+                       "FAIL seed %llu: mutation %s not flagged with %s\n",
+                       static_cast<unsigned long long>(s), mutation.c_str(),
+                       expected.c_str());
+          ++failures;
+        }
+      }
+    }
+    std::fprintf(stderr, "selfcheck: %d mutation checks, %d failure(s)\n",
+                 checked, failures);
+    return failures == 0 ? 0 : 1;
+  }
+
+  // ---- Generated models ----------------------------------------------
+  if (have_seed) {
+    for (int i = 0; i < iters; ++i) {
+      const uint64_t s = seed + static_cast<uint64_t>(i);
+      caesar::TypeRegistry registry;
+      auto generated = caesar::GenerateCase(s, &registry);
+      if (!generated.ok()) {
+        std::fprintf(stderr, "seed %llu: %s\n",
+                     static_cast<unsigned long long>(s),
+                     generated.status().ToString().c_str());
+        return 2;
+      }
+      const std::string source = "<seed " + std::to_string(s) + ">";
+      if (inject_bug.empty()) {
+        run.Lint(generated.value().model, source);
+        continue;
+      }
+      std::string expected;
+      auto mutated = caesar::MutateModel(generated.value().model, inject_bug,
+                                         &expected);
+      if (!mutated.ok()) {
+        std::fprintf(stderr, "seed %llu: %s\n",
+                     static_cast<unsigned long long>(s),
+                     mutated.status().ToString().c_str());
+        return 2;
+      }
+      run.Lint(mutated.value(), source + " +" + inject_bug);
+    }
+    return Report(&run, format);
+  }
+
+  // ---- Builtin workload models ---------------------------------------
+  if (!builtin.empty()) {
+    auto lint_builtin = [&](const std::string& name) -> bool {
+      caesar::TypeRegistry registry;
+      caesar::Result<CaesarModel> model = [&]() -> caesar::Result<CaesarModel> {
+        if (name == "linear_road") {
+          caesar::RegisterLinearRoadTypes(&registry);
+          return caesar::MakeLinearRoadModel({}, &registry);
+        }
+        if (name == "pamap") {
+          caesar::RegisterPamapTypes(&registry);
+          return caesar::MakePamapModel({}, &registry);
+        }
+        if (name == "synthetic") {
+          caesar::RegisterSyntheticTypes(&registry);
+          return caesar::MakeSyntheticModel({}, &registry);
+        }
+        return caesar::Status::InvalidArgument("unknown builtin: " + name);
+      }();
+      if (!model.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     model.status().ToString().c_str());
+        return false;
+      }
+      run.Lint(model.value(), "<builtin:" + name + ">");
+      return true;
+    };
+    if (builtin == "all") {
+      for (const char* name : {"linear_road", "pamap", "synthetic"}) {
+        if (!lint_builtin(name)) return 2;
+      }
+    } else if (!lint_builtin(builtin)) {
+      return 2;
+    }
+    return Report(&run, format);
+  }
+
+  // ---- Model files ----------------------------------------------------
+  if (files.empty()) return Usage(argv[0]);
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    caesar::TypeRegistry registry;
+    caesar::ParseModelOptions parse_options;
+    parse_options.source_name = path;
+    parse_options.strict = false;  // validity issues become diagnostics
+    auto model = caesar::ParseModel(text.str(), &registry, parse_options);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().message().c_str());
+      return 2;
+    }
+    AnalyzerOptions options = run.analyzer;
+    options.source_name = path;
+    options.check_plan = true;  // end-to-end: P304 on translator limits
+    for (Diagnostic& diag : AnalyzeModel(model.value(), options)) {
+      run.diagnostics.push_back(std::move(diag));
+    }
+  }
+  return Report(&run, format);
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validates the JSON emitted by caesar_lint --format=json.
+
+Stdlib only (runs in CI without installing anything). Checks the envelope
+{tool, version, diagnostics[], errors} and, for every diagnostic, the
+required fields, the code/severity vocabularies, and consistency between
+the per-diagnostic severities and the envelope's `errors` flag.
+
+Usage: check_lint_schema.py FILE [FILE ...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import re
+import sys
+
+VERSION = 1
+CODE_RE = re.compile(r"^[CEWPI]\d{3}$")
+SEVERITIES = ("error", "warning", "note")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_diagnostic(diag, where):
+    expect(isinstance(diag, dict), f"{where}: diagnostic must be an object")
+    for key in ("code", "severity", "source", "line", "col", "message"):
+        expect(key in diag, f"{where} missing '{key}'")
+    expect(
+        CODE_RE.match(diag["code"]),
+        f"{where}: code {diag['code']!r} is not a C/E/W/P/I + 3-digit code",
+    )
+    expect(
+        diag["severity"] in SEVERITIES,
+        f"{where}: unknown severity {diag['severity']!r}",
+    )
+    expect(isinstance(diag["source"], str), f"{where}: source must be a string")
+    expect(
+        isinstance(diag["line"], int) and diag["line"] >= 0,
+        f"{where}: line must be a non-negative integer",
+    )
+    expect(
+        isinstance(diag["col"], int) and diag["col"] >= 0,
+        f"{where}: col must be a non-negative integer",
+    )
+    expect(
+        isinstance(diag["message"], str) and diag["message"],
+        f"{where}: message must be a non-empty string",
+    )
+    for optional in ("query", "context"):
+        if optional in diag:
+            expect(
+                isinstance(diag[optional], str) and diag[optional],
+                f"{where}: '{optional}' is a non-empty string when present",
+            )
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    expect(isinstance(doc, dict), "top level must be an object")
+    for key in ("tool", "version", "diagnostics", "errors"):
+        expect(key in doc, f"top level missing '{key}'")
+    expect(doc["tool"] == "caesar_lint", f"unknown tool {doc['tool']!r}")
+    expect(
+        doc["version"] == VERSION,
+        f"envelope version {doc['version']} != {VERSION}",
+    )
+    expect(isinstance(doc["diagnostics"], list),
+           "'diagnostics' must be a list")
+    has_errors = False
+    for i, diag in enumerate(doc["diagnostics"]):
+        check_diagnostic(diag, f"diagnostics[{i}]")
+        if diag["severity"] == "error":
+            has_errors = True
+    expect(isinstance(doc["errors"], bool), "'errors' must be a boolean")
+    expect(
+        doc["errors"] == has_errors,
+        f"'errors' is {doc['errors']} but the list "
+        f"{'contains' if has_errors else 'has no'} error diagnostics",
+    )
+    return len(doc["diagnostics"])
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            count = check_file(path)
+            print(f"{path}: OK ({count} diagnostics)")
+        except (SchemaError, OSError, json.JSONDecodeError) as error:
+            print(f"{path}: FAIL: {error}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

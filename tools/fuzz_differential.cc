@@ -29,6 +29,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N] [--iters M] [--budget-seconds S]\n"
       "          [--matrix full|quick] [--inject-bug NAME]\n"
+      "          [--inject-model-bug NAME] [--no-lint]\n"
       "          [--write-repro DIR] [--force-negation]\n"
       "          [--replay FILE] [--describe]\n",
       argv0);
@@ -45,7 +46,9 @@ int main(int argc, char** argv) {
   bool describe = false;
   bool dump = false;
   bool force_negation = false;
+  bool lint = true;
   std::string bug;
+  std::string model_bug;
   std::string replay_path;
   std::string write_repro_dir = ".";
 
@@ -76,6 +79,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--inject-bug") {
       bug = next();
+    } else if (arg == "--inject-model-bug") {
+      model_bug = next();
+    } else if (arg == "--no-lint") {
+      lint = false;
     } else if (arg == "--write-repro") {
       write_repro_dir = next();
     } else if (arg == "--replay") {
@@ -171,6 +178,8 @@ int main(int argc, char** argv) {
   options.full_matrix = full_matrix;
   options.bug = bug;
   options.generator = generator;
+  options.lint = lint;
+  options.model_mutation = model_bug;
 
   auto result = caesar::RunFuzz(options);
   if (!result.ok()) {
