@@ -18,6 +18,8 @@ const char* OperatorKindName(Operator::Kind kind) {
       return "ContextTerm";
     case Operator::Kind::kAggregate:
       return "Aggregate";
+    case Operator::Kind::kCompiledPattern:
+      return "CompiledPattern";
   }
   return "?";
 }

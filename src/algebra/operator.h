@@ -48,6 +48,9 @@ class Operator {
     kContextInit,
     kContextTerm,
     kAggregate,
+    // Automaton-based replacement for kPattern (compile/); selected by
+    // EngineOptions::pattern_engine, never emitted by the translator.
+    kCompiledPattern,
   };
 
   explicit Operator(Kind kind) : kind_(kind) {}

@@ -75,6 +75,11 @@ class PatternOp : public Operator {
   double Selectivity() const override;
 
   const PatternOpConfig& config() const { return *config_; }
+  // Shared handle for the pattern compiler (compile/compiler.h), which
+  // co-owns the config through the automaton it builds.
+  std::shared_ptr<const PatternOpConfig> shared_config() const {
+    return config_;
+  }
 
   // Introspection for tests and the garbage collector.
   size_t num_partials() const { return partials_.size(); }

@@ -1,0 +1,95 @@
+// Compiled pattern automata (the CEA-style representation of a SEQ query).
+//
+// A SEQ chain with k positive positions compiles to a linear automaton with
+// k + 1 states: state s means "the first s positive components are bound".
+// Each state except the last carries one transition — the event type it
+// awaits plus the predicate closures gating the advance — and negated
+// positions become completion-time NegationWatch checks with their
+// surrounding positive slots resolved at compile time (the interpreted
+// matcher re-derives them per match).
+//
+// Transition predicates are *cost-ordered*: the compiler ranks each closure
+// by estimated evaluation cost over estimated rejection power
+// (optimizer/cost_model.h) so cheap, selective guards run first and
+// short-circuit state creation — lazy evaluation in the sense of Kolchinsky
+// & Schuster's CEP join-ordering work. Reordering conjuncts of one position
+// is semantics-preserving (they are pure), so the compiled operator still
+// matches the interpreted one byte for byte.
+//
+// The automaton itself is immutable and shared by all per-partition operator
+// clones; runtime state (runs, negation buffers) lives in
+// compile/compiled_pattern_op.h.
+
+#ifndef CAESAR_COMPILE_AUTOMATON_H_
+#define CAESAR_COMPILE_AUTOMATON_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/pattern_op.h"
+#include "event/schema.h"
+#include "expr/compiled.h"
+
+namespace caesar {
+
+// One predicate closure on a transition, with the compiler's estimates.
+struct AutomatonPredicate {
+  std::shared_ptr<const CompiledExpr> expr;
+  int config_index = 0;       // index in the position's predicate list
+  double est_cost = 1.0;      // evaluator nodes (cost_model.h)
+  double est_selectivity = 0.5;
+
+  // Evaluation rank: cost paid per unit of expected rejection; lower runs
+  // first. A selectivity-1.0 guard never rejects, so it ranks last.
+  double rank() const;
+};
+
+// The transition out of state `index`: bind an event of `type_id` into
+// pattern slot `slot` when every predicate passes.
+struct AutomatonTransition {
+  int slot = 0;  // index into PatternOpConfig::positions
+  TypeId type_id = kInvalidTypeId;
+  std::vector<AutomatonPredicate> predicates;  // cost-ordered
+};
+
+// A negated position, checked when a run completes. The surrounding
+// positive slots define the forbidden interval: (prev, next) when an
+// earlier positive exists, [next - within, next) for a leading NOT.
+struct NegationWatch {
+  int neg_index = 0;  // index of this watch (== its buffer index)
+  int slot = 0;       // negated position in PatternOpConfig::positions
+  TypeId type_id = kInvalidTypeId;
+  int prev_positive_slot = -1;  // -1 = leading NOT
+  int next_positive_slot = -1;
+  // Negation condition, in config order (evaluated with the candidate
+  // bound transiently at `slot`).
+  std::vector<std::shared_ptr<const CompiledExpr>> predicates;
+};
+
+// The compiled form of one PatternOpConfig. Immutable; shared across
+// per-partition operator clones like the config itself.
+struct CompiledAutomaton {
+  std::shared_ptr<const PatternOpConfig> config;
+  // One transition per positive position, in sequence order. Empty iff the
+  // pattern is a pass-through event match.
+  std::vector<AutomatonTransition> transitions;
+  std::vector<NegationWatch> negations;
+  // Type dispatch: for each awaited event type, the non-initial states
+  // (1 .. k-1) whose transition awaits it, ascending. State 0 (fresh run)
+  // is dispatched separately by the operator. Sorted by type id.
+  std::vector<std::pair<TypeId, std::vector<int>>> dispatch;
+
+  int num_states() const { return static_cast<int>(transitions.size()) + 1; }
+
+  // States >= 1 awaiting `type_id`, or nullptr when none do.
+  const std::vector<int>* StatesAwaiting(TypeId type_id) const;
+
+  // Deterministic text rendering for golden tests and `--dump-automaton`.
+  std::string DumpText(const TypeRegistry& registry) const;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_COMPILE_AUTOMATON_H_

@@ -1,0 +1,118 @@
+#include "compile/compiler.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "optimizer/cost_model.h"
+#include "plan/translator.h"
+#include "query/model.h"
+
+namespace caesar {
+
+bool CompileSupported(const PatternOpConfig& config) {
+  return static_cast<int>(config.positions.size()) <= kMaxCompiledPositions;
+}
+
+std::shared_ptr<const CompiledAutomaton> CompilePattern(
+    std::shared_ptr<const PatternOpConfig> config) {
+  CAESAR_CHECK(CompileSupported(*config))
+      << "pattern exceeds kMaxCompiledPositions: " << config->description;
+  auto automaton = std::make_shared<CompiledAutomaton>();
+  automaton->config = config;
+  const auto& positions = config->positions;
+
+  if (config->pass_through) return automaton;
+
+  // Positive positions become the transition chain; negated ones become
+  // completion-time watches with their interval endpoints precomputed.
+  for (int i = 0; i < static_cast<int>(positions.size()); ++i) {
+    if (positions[i].negated) {
+      NegationWatch watch;
+      watch.neg_index = static_cast<int>(automaton->negations.size());
+      watch.slot = i;
+      watch.type_id = positions[i].type_id;
+      for (int p = i - 1; p >= 0; --p) {
+        if (!positions[p].negated) {
+          watch.prev_positive_slot = p;
+          break;
+        }
+      }
+      for (int p = i + 1; p < static_cast<int>(positions.size()); ++p) {
+        if (!positions[p].negated) {
+          watch.next_positive_slot = p;
+          break;
+        }
+      }
+      CAESAR_CHECK_GE(watch.next_positive_slot, 0)
+          << "trailing NOT reached the compiler: " << config->description;
+      watch.predicates = positions[i].predicates;
+      automaton->negations.push_back(std::move(watch));
+      continue;
+    }
+    AutomatonTransition transition;
+    transition.slot = i;
+    transition.type_id = positions[i].type_id;
+    for (size_t p = 0; p < positions[i].predicates.size(); ++p) {
+      AutomatonPredicate predicate;
+      predicate.expr = positions[i].predicates[p];
+      predicate.config_index = static_cast<int>(p);
+      predicate.est_cost = EstimatePredicateCost(*predicate.expr);
+      predicate.est_selectivity = EstimatePredicateSelectivity(*predicate.expr);
+      transition.predicates.push_back(std::move(predicate));
+    }
+    // Lazy evaluation: cheapest expected cost per rejection first. The sort
+    // is stable with a config-index tie-break, so the order (and the dump)
+    // is deterministic.
+    std::stable_sort(transition.predicates.begin(),
+                     transition.predicates.end(),
+                     [](const AutomatonPredicate& a,
+                        const AutomatonPredicate& b) {
+                       if (a.rank() != b.rank()) return a.rank() < b.rank();
+                       return a.config_index < b.config_index;
+                     });
+    automaton->transitions.push_back(std::move(transition));
+  }
+  CAESAR_CHECK(!automaton->transitions.empty());
+
+  // Type dispatch over the non-initial states.
+  for (int s = 1; s < static_cast<int>(automaton->transitions.size()); ++s) {
+    const TypeId type = automaton->transitions[s].type_id;
+    auto it = std::lower_bound(
+        automaton->dispatch.begin(), automaton->dispatch.end(), type,
+        [](const auto& entry, TypeId id) { return entry.first < id; });
+    if (it == automaton->dispatch.end() || it->first != type) {
+      it = automaton->dispatch.insert(it, {type, {}});
+    }
+    it->second.push_back(s);
+  }
+  return automaton;
+}
+
+Result<std::string> DumpModelAutomatons(const CaesarModel& model,
+                                        const PlanOptions& plan_options) {
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan plan,
+                          TranslateModel(model, plan_options));
+  std::ostringstream os;
+  for (const auto* queries : {&plan.deriving, &plan.processing}) {
+    for (const CompiledQuery& query : *queries) {
+      for (const auto& op : query.chain.ops) {
+        if (op->kind() != Operator::Kind::kPattern) continue;
+        const auto* pattern = static_cast<const PatternOp*>(op.get());
+        os << "query " << query.name << "\n";
+        if (!CompileSupported(pattern->config())) {
+          os << "  fallback: interpreted ("
+             << pattern->config().positions.size() << " positions > "
+             << kMaxCompiledPositions << ")\n";
+          continue;
+        }
+        os << CompilePattern(pattern->shared_config())
+                  ->DumpText(*plan.registry);
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace caesar

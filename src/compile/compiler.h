@@ -1,0 +1,47 @@
+// The pattern-to-automaton compiler: PatternOpConfig -> CompiledAutomaton.
+//
+// Compilation resolves everything the interpreted matcher re-derives per
+// event or per match — positive/negated position split, negation intervals,
+// per-type state dispatch — and orders each transition's predicate closures
+// by the cost model's estimates (see automaton.h). Patterns beyond
+// kMaxCompiledPositions fall back to the interpreted operator (the analyzer
+// notes this as P305).
+
+#ifndef CAESAR_COMPILE_COMPILER_H_
+#define CAESAR_COMPILE_COMPILER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "compile/automaton.h"
+
+namespace caesar {
+
+class CaesarModel;
+struct PlanOptions;
+
+// Ceiling on compilable pattern width. Patterns this long do not occur in
+// practice (the generator tops out at 4 positions); the bound keeps the
+// per-run slot arrays small and gives the P305 fallback note a trigger.
+inline constexpr int kMaxCompiledPositions = 16;
+
+// True when `config` can be compiled (position count within the limit).
+bool CompileSupported(const PatternOpConfig& config);
+
+// Compiles `config`; aborts if !CompileSupported(config). The automaton
+// shares ownership of the config.
+std::shared_ptr<const CompiledAutomaton> CompilePattern(
+    std::shared_ptr<const PatternOpConfig> config);
+
+// Translates `model` and renders the automaton of every pattern operator in
+// plan order (deriving queries, then processing), one DumpText block per
+// operator prefixed by "query <name>". Unsupported patterns render a
+// one-line fallback note instead. Backs `caesar_lint --dump-automaton` and
+// the tests/compile_corpus/ goldens.
+Result<std::string> DumpModelAutomatons(const CaesarModel& model,
+                                        const PlanOptions& plan_options);
+
+}  // namespace caesar
+
+#endif  // CAESAR_COMPILE_COMPILER_H_

@@ -86,6 +86,10 @@ class CompiledExpr {
   // Indices of variables referenced anywhere in this expression.
   const std::vector<int>& referenced_vars() const { return referenced_vars_; }
 
+  // Flattened evaluator nodes (see Node); exposed for the cost model's
+  // per-predicate estimates.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
   std::string ToString() const { return source_ ? source_->ToString() : "?"; }
 
  private:

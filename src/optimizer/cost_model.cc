@@ -1,5 +1,9 @@
 #include "optimizer/cost_model.h"
 
+#include <algorithm>
+
+#include "expr/compiled.h"
+
 namespace caesar {
 
 double EstimateChainCost(const OpChain& chain, const CostModelParams& params) {
@@ -32,6 +36,48 @@ double EstimatePlanCost(const ExecutablePlan& plan,
     }
   }
   return cost;
+}
+
+double EstimatePredicateCost(const CompiledExpr& expr) {
+  return std::max<double>(1.0, static_cast<double>(expr.nodes().size()));
+}
+
+namespace {
+
+double NodeSelectivity(const std::vector<CompiledExpr::Node>& nodes,
+                       int index) {
+  if (index < 0 || index >= static_cast<int>(nodes.size())) return 0.5;
+  const CompiledExpr::Node& node = nodes[index];
+  if (node.kind != Expr::Kind::kBinary) return 0.5;
+  switch (node.op) {
+    case BinaryOp::kEq:
+      return 0.1;
+    case BinaryOp::kNe:
+      return 0.9;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 0.5;
+    case BinaryOp::kAnd:
+      return NodeSelectivity(nodes, node.left) *
+             NodeSelectivity(nodes, node.right);
+    case BinaryOp::kOr: {
+      const double l = NodeSelectivity(nodes, node.left);
+      const double r = NodeSelectivity(nodes, node.right);
+      return l + r - l * r;  // independent union
+    }
+    default:
+      return 0.5;  // arithmetic root: not a filter
+  }
+}
+
+}  // namespace
+
+double EstimatePredicateSelectivity(const CompiledExpr& expr) {
+  if (expr.nodes().empty()) return 0.5;
+  return NodeSelectivity(expr.nodes(),
+                         static_cast<int>(expr.nodes().size()) - 1);
 }
 
 }  // namespace caesar

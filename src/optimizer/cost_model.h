@@ -15,6 +15,8 @@
 
 namespace caesar {
 
+class CompiledExpr;
+
 // Cost-model parameters.
 struct CostModelParams {
   // Expected fraction of time the chain's context windows are active.
@@ -29,6 +31,20 @@ double EstimateChainCost(const OpChain& chain, const CostModelParams& params);
 // Expected cost of a whole plan per input event (guards included).
 double EstimatePlanCost(const ExecutablePlan& plan,
                         const CostModelParams& params);
+
+// ---- Per-predicate estimates (pattern compiler, compile/) -------------
+//
+// The compiler orders a transition's predicate closures by estimated cost
+// per unit of rejection; these are the static estimates behind that rank
+// (calibration.h supplies observed values once a plan has run).
+
+// Evaluation cost in evaluator nodes.
+double EstimatePredicateCost(const CompiledExpr& expr);
+
+// Pass-probability heuristic from the expression shape: equality is
+// selective (0.1), inequality barely filters (0.9), orderings are even
+// odds; AND multiplies, OR unions.
+double EstimatePredicateSelectivity(const CompiledExpr& expr);
 
 }  // namespace caesar
 

@@ -88,6 +88,39 @@ std::vector<std::pair<int64_t, int64_t>> CompressRanges(
   return out;
 }
 
+// Byte-exact rendering for the interpreted-vs-compiled identity check
+// (stronger than the per-tick multiset canon used against the oracle: the
+// two engines must agree on emission *order* too).
+std::string RenderDerived(const EventBatch& events,
+                          const TypeRegistry& registry) {
+  std::ostringstream os;
+  for (const EventPtr& event : events) {
+    os << event->time() << " " << event->ToString(registry) << "\n";
+  }
+  return os.str();
+}
+
+std::string DescribeByteDiff(const std::string& interpreted,
+                             const std::string& compiled) {
+  std::istringstream a(interpreted), b(compiled);
+  std::string line_a, line_b;
+  int line = 0;
+  while (true) {
+    const bool has_a = static_cast<bool>(std::getline(a, line_a));
+    const bool has_b = static_cast<bool>(std::getline(b, line_b));
+    ++line;
+    if (!has_a && !has_b) break;
+    if (has_a != has_b || line_a != line_b) {
+      std::ostringstream os;
+      os << "compiled output is not byte-identical to interpreted at line "
+         << line << ":\n  interpreted: " << (has_a ? line_a : "<end>")
+         << "\n  compiled:    " << (has_b ? line_b : "<end>");
+      return os.str();
+    }
+  }
+  return "compiled output is not byte-identical to interpreted";
+}
+
 Status ApplyBug(const std::string& bug, OracleOptions* oracle) {
   if (bug.empty()) return Status::Ok();
   if (bug == "skip_negation") {
@@ -109,16 +142,21 @@ std::string EngineLeg::Name() const {
   os << kShapeNames[plan_shape] << "/t" << threads << "/"
      << (reorder ? "reorder" : "strict") << "/"
      << (operator_metrics ? "m1" : "m0");
+  // Interpreted names are unchanged from before the pattern compiler
+  // existed: the checked-in corpus repro files pin legs by name.
+  if (compiled) os << "/cmp";
   return os.str();
 }
 
 std::vector<EngineLeg> FullMatrix() {
   std::vector<EngineLeg> legs;
-  for (int shape = 0; shape < 4; ++shape) {
-    for (int threads : {1, 2, 4, 8}) {
-      for (bool reorder : {false, true}) {
-        for (bool metrics : {false, true}) {
-          legs.push_back({shape, threads, reorder, metrics});
+  for (bool compiled : {false, true}) {
+    for (int shape = 0; shape < 4; ++shape) {
+      for (int threads : {1, 2, 4, 8}) {
+        for (bool reorder : {false, true}) {
+          for (bool metrics : {false, true}) {
+            legs.push_back({shape, threads, reorder, metrics, compiled});
+          }
         }
       }
     }
@@ -128,9 +166,19 @@ std::vector<EngineLeg> FullMatrix() {
 
 std::vector<EngineLeg> QuickMatrix() {
   return {
-      {0, 1, false, false}, {1, 2, false, false}, {2, 4, true, false},
-      {3, 8, true, true},   {1, 4, true, false},  {3, 1, false, true},
-      {2, 2, false, false}, {0, 8, true, false},
+      {0, 1, false, false},
+      {1, 2, false, false},
+      {2, 4, true, false},
+      {3, 8, true, true},
+      {1, 4, true, false},
+      {3, 1, false, true},
+      {2, 2, false, false},
+      {0, 8, true, false},
+      // Compiled legs (after their interpreted twins, see FullMatrix).
+      {0, 1, false, false, true},
+      {3, 8, true, true, true},
+      {2, 4, false, false, true},
+      {1, 2, true, false, true},
   };
 }
 
@@ -181,8 +229,11 @@ Result<DivergenceReport> CompareCase(const CaesarModel& model,
   DivergenceReport report;
   const std::vector<EngineLeg> legs =
       options.full_matrix ? FullMatrix() : QuickMatrix();
-  for (const EngineLeg& leg : legs) {
-    if (!options.only_leg.empty() && leg.Name() != options.only_leg) continue;
+  // Byte renderings of interpreted legs, keyed by twin (compiled) name.
+  std::map<std::string, std::string> interpreted_bytes;
+
+  auto run_leg = [&](const EngineLeg& leg,
+                     EventBatch* derived) -> Result<bool> {
     EngineOptions eo;
     eo.num_threads = leg.threads;
     eo.gc_interval = options.oracle.gc_interval;
@@ -192,22 +243,65 @@ Result<DivergenceReport> CompareCase(const CaesarModel& model,
     eo.ingest_policy =
         leg.reorder ? IngestPolicy::kReorder : IngestPolicy::kStrict;
     eo.reorder_slack = leg.reorder ? reorder_slack : 0;
+    eo.pattern_engine =
+        leg.compiled ? PatternEngine::kCompiled : PatternEngine::kInterpreted;
     CAESAR_ASSIGN_OR_RETURN(
         std::unique_ptr<Engine> engine,
         Engine::Create(plans[leg.plan_shape].Clone(), eo));
-    EventBatch derived;
-    auto run = engine->Run(leg.reorder ? disordered : clean, &derived);
+    auto run = engine->Run(leg.reorder ? disordered : clean, derived);
     if (!run.ok()) {
       report.diverged = true;
       report.leg = leg.Name();
       report.detail = "engine Run failed: " + run.status().ToString();
-      return report;
+      return false;
     }
+    return true;
+  };
+
+  for (const EngineLeg& leg : legs) {
+    if (!options.only_leg.empty() && leg.Name() != options.only_leg) continue;
+    if (!options.engines.empty()) {
+      if (options.engines == "interpreted" && leg.compiled) continue;
+      if (options.engines == "compiled" && !leg.compiled) continue;
+    }
+    EventBatch derived;
+    CAESAR_ASSIGN_OR_RETURN(bool ok, run_leg(leg, &derived));
+    if (!ok) return report;
     const TickCanon actual_canon = CanonicalByTick(derived, *model.registry());
     if (actual_canon != expected_canon) {
       report.diverged = true;
       report.leg = leg.Name();
       report.detail = DescribeDiff(expected_canon, actual_canon);
+      return report;
+    }
+    if (!leg.compiled) {
+      EngineLeg twin = leg;
+      twin.compiled = true;
+      interpreted_bytes[twin.Name()] = RenderDerived(derived, *model.registry());
+      continue;
+    }
+    // Third side of the 3-way: the compiled leg's derived stream must be
+    // byte-identical to its interpreted twin's, emission order included.
+    // In the full matrix the twin already ran (interpreted legs first);
+    // otherwise run it on demand.
+    auto cached = interpreted_bytes.find(leg.Name());
+    if (cached == interpreted_bytes.end()) {
+      EngineLeg twin = leg;
+      twin.compiled = false;
+      EventBatch twin_derived;
+      CAESAR_ASSIGN_OR_RETURN(bool twin_ok, run_leg(twin, &twin_derived));
+      if (!twin_ok) return report;
+      cached = interpreted_bytes
+                   .emplace(leg.Name(),
+                            RenderDerived(twin_derived, *model.registry()))
+                   .first;
+    }
+    const std::string compiled_bytes =
+        RenderDerived(derived, *model.registry());
+    if (compiled_bytes != cached->second) {
+      report.diverged = true;
+      report.leg = leg.Name();
+      report.detail = DescribeByteDiff(cached->second, compiled_bytes);
       return report;
     }
   }
@@ -402,13 +496,14 @@ Result<MaterializedCase> Materialize(const ReproSpec& spec,
   return out;
 }
 
-Result<DivergenceReport> ReplayRepro(const ReproSpec& spec,
-                                     bool full_matrix) {
+Result<DivergenceReport> ReplayRepro(const ReproSpec& spec, bool full_matrix,
+                                     const std::string& engines) {
   TypeRegistry registry;
   CAESAR_ASSIGN_OR_RETURN(MaterializedCase m, Materialize(spec, &registry));
   DifferentialOptions options;
   options.full_matrix = full_matrix;
   options.only_leg = spec.leg;
+  options.engines = engines;
   CAESAR_RETURN_IF_ERROR(ApplyBug(spec.bug, &options.oracle));
   return CompareCase(m.model, m.clean, m.disordered, m.reorder_slack,
                      options);
@@ -652,8 +747,9 @@ Result<FuzzResult> RunFuzz(const FuzzOptions& options) {
         continue;
       }
     }
-    CAESAR_ASSIGN_OR_RETURN(DivergenceReport report,
-                            ReplayRepro(spec, options.full_matrix));
+    CAESAR_ASSIGN_OR_RETURN(
+        DivergenceReport report,
+        ReplayRepro(spec, options.full_matrix, options.engines));
     result.iterations_run = i + 1;
     if (report.diverged) {
       result.diverged = true;

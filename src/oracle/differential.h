@@ -47,14 +47,21 @@ struct EngineLeg {
   int threads = 1;
   bool reorder = false;          // strict/clean vs reorder/disordered
   bool operator_metrics = false;
+  // Run with EngineOptions::pattern_engine = compiled. Compiled legs are
+  // additionally held byte-identical (not just tick-multiset equal) to
+  // their interpreted twin — the 3-way check: oracle vs interpreted vs
+  // compiled.
+  bool compiled = false;
 
-  std::string Name() const;  // e.g. "shared/t4/reorder/m1"
+  std::string Name() const;  // e.g. "shared/t4/reorder/m1", "/cmp" suffix
+                             // for compiled legs
 };
 
-// All 64 legs: 4 plan shapes x {1,2,4,8} threads x {strict, reorder} x
-// {metrics off, operator metrics}.
+// All 128 legs: 4 plan shapes x {1,2,4,8} threads x {strict, reorder} x
+// {metrics off, operator metrics} x {interpreted, compiled}. Interpreted
+// legs come first so compiled legs always find their twin's output cached.
 std::vector<EngineLeg> FullMatrix();
-// 8 representative legs covering every value of every dimension at least
+// 12 representative legs covering every value of every dimension at least
 // once (for the in-tree quick tests).
 std::vector<EngineLeg> QuickMatrix();
 
@@ -73,6 +80,10 @@ struct DifferentialOptions {
   OracleOptions oracle;
   bool full_matrix = true;    // FullMatrix vs QuickMatrix
   std::string only_leg;       // non-empty: compare just this leg
+  // "" = all legs; "interpreted" / "compiled" restricts to that pattern
+  // engine (compiled legs still run their interpreted twin on demand for
+  // the byte-identity check).
+  std::string engines;
 };
 
 // Compares the oracle's derived stream (over `clean`) against every engine
@@ -124,8 +135,10 @@ Result<MaterializedCase> Materialize(const ReproSpec& spec,
                                      TypeRegistry* registry);
 
 // Regenerates the case and compares (honoring spec.leg and spec.bug).
+// `engines` filters legs like DifferentialOptions::engines.
 Result<DivergenceReport> ReplayRepro(const ReproSpec& spec,
-                                     bool full_matrix = true);
+                                     bool full_matrix = true,
+                                     const std::string& engines = "");
 
 // Greedy shrink: drop queries to a fixpoint, then remove event ranges in
 // halving chunk sizes, keeping every candidate that still diverges.
@@ -140,6 +153,7 @@ struct FuzzOptions {
   double budget_seconds = 0;  // stop after this much wall time (0 = off)
   bool full_matrix = true;
   std::string bug;            // oracle fault injection for sensitivity runs
+  std::string engines;        // leg filter, see DifferentialOptions
   GeneratorOptions generator;
 
   // Lint leg (analysis/analyzer.h): every generated model must analyze

@@ -46,10 +46,12 @@ std::string StripExecutorLines(const std::string& report) {
 
 RunResult RunWith(const ExecutablePlan& plan, const EventBatch& stream,
                   const TypeRegistry& registry, int num_threads,
-                  bool gather_statistics) {
+                  bool gather_statistics,
+                  PatternEngine engine_kind = PatternEngine::kInterpreted) {
   EngineOptions options;
   options.num_threads = num_threads;
   options.gather_statistics = gather_statistics;
+  options.pattern_engine = engine_kind;
   if (gather_statistics) options.metrics = MetricsGranularity::kOperator;
   Engine engine(plan.Clone(), options);
   EventBatch outputs;
@@ -85,20 +87,22 @@ void ExpectEqualCounters(const RunStats& serial, const RunStats& parallel,
   EXPECT_EQ(serial.partitions, parallel.partitions) << num_threads;
 }
 
-void ExpectParallelMatchesSerial(const ExecutablePlan& plan,
-                                 const EventBatch& stream,
-                                 const TypeRegistry& registry) {
+void ExpectParallelMatchesSerial(
+    const ExecutablePlan& plan, const EventBatch& stream,
+    const TypeRegistry& registry,
+    PatternEngine engine_kind = PatternEngine::kInterpreted) {
   ASSERT_FALSE(stream.empty());
   for (bool gather : {false, true}) {
-    RunResult serial = RunWith(plan, stream, registry, 1, gather);
+    RunResult serial = RunWith(plan, stream, registry, 1, gather, engine_kind);
     // A meaningful check needs actual derived traffic.
     EXPECT_GT(serial.stats.derived_events, 0);
     EXPECT_GT(serial.stats.partitions, 1);
     for (int num_threads : {2, 4, 8}) {
       SCOPED_TRACE("threads=" + std::to_string(num_threads) +
-                   " gather=" + std::to_string(gather));
+                   " gather=" + std::to_string(gather) + " engine=" +
+                   PatternEngineName(engine_kind));
       RunResult parallel =
-          RunWith(plan, stream, registry, num_threads, gather);
+          RunWith(plan, stream, registry, num_threads, gather, engine_kind);
       EXPECT_EQ(serial.derived, parallel.derived);
       ExpectEqualCounters(serial.stats, parallel.stats, num_threads);
       EXPECT_EQ(serial.statistics, parallel.statistics);
@@ -110,6 +114,28 @@ void ExpectParallelMatchesSerial(const ExecutablePlan& plan,
       EXPECT_EQ(parallel.stats.parallel_tasks, parallel.stats.transactions);
     }
   }
+}
+
+// The cross-engine contract on top of the parallel one: the compiled
+// pattern engine must derive the exact byte sequence of the interpreted
+// engine, serial and parallel alike (same events, same order).
+void ExpectCompiledMatchesInterpreted(const ExecutablePlan& plan,
+                                      const EventBatch& stream,
+                                      const TypeRegistry& registry) {
+  RunResult interpreted = RunWith(plan, stream, registry, 1, false);
+  EXPECT_GT(interpreted.stats.derived_events, 0);
+  for (int num_threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("compiled threads=" + std::to_string(num_threads));
+    RunResult compiled = RunWith(plan, stream, registry, num_threads, false,
+                                 PatternEngine::kCompiled);
+    EXPECT_EQ(interpreted.derived, compiled.derived);
+    EXPECT_EQ(interpreted.stats.derived_events, compiled.stats.derived_events);
+    EXPECT_EQ(interpreted.stats.derived_by_type, compiled.stats.derived_by_type);
+  }
+  // kAuto compiles what it can and must also stay byte-identical.
+  RunResult automatic =
+      RunWith(plan, stream, registry, 4, false, PatternEngine::kAuto);
+  EXPECT_EQ(interpreted.derived, automatic.derived);
 }
 
 ExecutablePlan Optimize(const CaesarModel& model) {
@@ -178,6 +204,60 @@ TEST(ParallelDeterminismTest, PamapWorkload) {
   auto model = MakePamapModel(PamapModelConfig(), &registry);
   CAESAR_CHECK_OK(model.status());
   ExpectParallelMatchesSerial(Optimize(model.value()), stream, registry);
+}
+
+TEST(ParallelDeterminismTest, SyntheticWorkloadCompiledEngine) {
+  SyntheticConfig config;
+  config.duration = 300;
+  config.num_partitions = 8;
+  config.events_per_tick = 2;
+  config.windows = LayOutWindows(/*count=*/3, /*length=*/60, /*overlap=*/20,
+                                 /*first_start=*/30);
+  config.assignment = SyntheticConfig::QueryAssignment::kPerWindowCopies;
+  config.queries_per_window = 2;
+  TypeRegistry registry;
+  EventBatch stream = GenerateSyntheticStream(config, &registry);
+  auto model = MakeSyntheticModel(config, &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExecutablePlan plan = Optimize(model.value());
+  ExpectParallelMatchesSerial(plan, stream, registry,
+                              PatternEngine::kCompiled);
+  ExpectCompiledMatchesInterpreted(plan, stream, registry);
+}
+
+TEST(ParallelDeterminismTest, LinearRoadWorkloadCompiledEngine) {
+  LinearRoadConfig config;
+  config.num_xways = 2;
+  config.num_segments = 6;
+  config.duration = 300;
+  config.seed = 7;
+  LinearRoadModelConfig model_config;
+  model_config.processing_replicas = 2;
+  TypeRegistry registry;
+  EventBatch stream = GenerateLinearRoadStream(config, &registry);
+  auto model = MakeLinearRoadModel(model_config, &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExecutablePlan plan = Optimize(model.value());
+  ExpectParallelMatchesSerial(plan, stream, registry,
+                              PatternEngine::kCompiled);
+  ExpectCompiledMatchesInterpreted(plan, stream, registry);
+}
+
+TEST(ParallelDeterminismTest, PamapWorkloadCompiledEngine) {
+  PamapConfig config;
+  config.num_subjects = 6;
+  config.duration = 1200;
+  config.exercise_phases_per_subject = 2.0;
+  config.exercise_duration = 300;
+  config.seed = 3;
+  TypeRegistry registry;
+  EventBatch stream = GeneratePamapStream(config, &registry);
+  auto model = MakePamapModel(PamapModelConfig(), &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExecutablePlan plan = Optimize(model.value());
+  ExpectParallelMatchesSerial(plan, stream, registry,
+                              PatternEngine::kCompiled);
+  ExpectCompiledMatchesInterpreted(plan, stream, registry);
 }
 
 TEST(ParallelDeterminismTest, SplitRunsMatchSingleRun) {

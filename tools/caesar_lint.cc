@@ -17,6 +17,11 @@
 //   caesar_lint --selfcheck [--seed N] [--iters M]
 //     Sweeps every mutation over the seeds and verifies (a) base models
 //     lint clean and (b) each mutation is flagged with its paired code.
+//   caesar_lint --dump-automaton FILE...
+//     Prints the compiled pattern automaton (compile/compiler.h) for every
+//     pattern query in each model, in the deterministic text form the
+//     compile_corpus goldens pin. Patterns past the compiler's position
+//     limit print a "fallback: interpreted" line instead.
 //
 // Options:
 //   --format=human|json|sarif   output format (default human). JSON and
@@ -39,7 +44,9 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostics.h"
+#include "compile/compiler.h"
 #include "oracle/generator.h"
+#include "plan/translator.h"
 #include "query/parser.h"
 #include "workloads/linear_road.h"
 #include "workloads/pamap.h"
@@ -59,8 +66,9 @@ int Usage(const char* argv0) {
       "       %s --builtin linear_road|pamap|synthetic|all\n"
       "       %s --seed N [--iters M] [--inject-bug NAME]\n"
       "       %s --selfcheck [--seed N] [--iters M]\n"
+      "       %s --dump-automaton FILE...\n"
       "       %s --list-bugs\n",
-      argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -107,6 +115,7 @@ int main(int argc, char** argv) {
   bool include_notes = true;
   bool selfcheck = false;
   bool list_bugs = false;
+  bool dump_automaton = false;
   bool have_seed = false;
   uint64_t seed = 1;
   int iters = 1;
@@ -146,6 +155,8 @@ int main(int argc, char** argv) {
       selfcheck = true;
     } else if (arg == "--list-bugs") {
       list_bugs = true;
+    } else if (arg == "--dump-automaton") {
+      dump_automaton = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -274,6 +285,38 @@ int main(int argc, char** argv) {
       return 2;
     }
     return Report(&run, format);
+  }
+
+  // ---- Automaton dumps -------------------------------------------------
+  if (dump_automaton) {
+    if (files.empty()) return Usage(argv[0]);
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      caesar::TypeRegistry registry;
+      caesar::ParseModelOptions parse_options;
+      parse_options.source_name = path;
+      auto model = caesar::ParseModel(text.str(), &registry, parse_options);
+      if (!model.ok()) {
+        std::fprintf(stderr, "%s\n", model.status().message().c_str());
+        return 2;
+      }
+      auto dumped =
+          caesar::DumpModelAutomatons(model.value(), caesar::PlanOptions{});
+      if (!dumped.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     dumped.status().ToString().c_str());
+        return 2;
+      }
+      if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
+      std::fputs(dumped.value().c_str(), stdout);
+    }
+    return 0;
   }
 
   // ---- Model files ----------------------------------------------------

@@ -6,6 +6,12 @@ envelope {benchmark, schema_version, runs[]} and, for every run, the
 StatisticsReport JSON produced by StatisticsToJson: required keys, types,
 and internal consistency of the power-of-2 histogram blocks.
 
+Files carrying a top-level "baseline_version" key (BENCH_baseline.json,
+written by tools/update_bench_baseline.py) are validated as a baseline
+wrapper instead: every contained envelope is checked as above, and the
+pattern-compile ablation rows must show the compiled engine beating the
+interpreted one (speedup > 1 and fewer work units) at SEQ depth >= 2.
+
 Usage: check_metrics_schema.py FILE [FILE ...]
 Exit status: 0 when every file validates, 1 otherwise.
 """
@@ -119,10 +125,60 @@ def check_report(report, where):
                        f"{where}: timeline.points[{j}] missing '{key}'")
 
 
+def check_ablation(rows, where):
+    expect(isinstance(rows, list) and rows, f"{where}: non-empty list required")
+    for i, row in enumerate(rows):
+        row_where = f"{where}[{i}]"
+        for key in ("depth", "derived", "interpreted_wall_s",
+                    "compiled_wall_s", "interpreted_ops", "compiled_ops",
+                    "speedup"):
+            expect(key in row, f"{row_where} missing '{key}'")
+        if row["depth"] >= 2:
+            # The point of the compiled engine: it must win on real chains.
+            expect(
+                row["speedup"] > 1.0,
+                f"{row_where}: depth {row['depth']} speedup "
+                f"{row['speedup']} is not > 1.0",
+            )
+            expect(
+                row["compiled_ops"] < row["interpreted_ops"],
+                f"{row_where}: depth {row['depth']} compiled work "
+                f"{row['compiled_ops']} not below interpreted "
+                f"{row['interpreted_ops']}",
+            )
+
+
+def check_baseline(doc):
+    for key in ("baseline_version", "generated", "benches"):
+        expect(key in doc, f"baseline missing '{key}'")
+    expect(doc["baseline_version"] == 1,
+           f"unknown baseline_version {doc['baseline_version']}")
+    expect(isinstance(doc["benches"], dict) and doc["benches"],
+           "'benches' must be a non-empty object")
+    runs = 0
+    for name, entry in doc["benches"].items():
+        expect(isinstance(entry, dict) and "envelope" in entry,
+               f"benches[{name}] must carry an 'envelope'")
+        envelope = entry["envelope"]
+        for key in ("benchmark", "schema_version", "runs"):
+            expect(key in envelope, f"benches[{name}] envelope missing '{key}'")
+        for i, run in enumerate(envelope["runs"]):
+            check_report(run["report"], f"benches[{name}] runs[{i}]")
+        runs += len(envelope["runs"])
+        if "ablation" in entry:
+            check_ablation(entry["ablation"], f"benches[{name}].ablation")
+    expect("bench_pattern_compile" in doc["benches"]
+           and "ablation" in doc["benches"]["bench_pattern_compile"],
+           "baseline must carry the bench_pattern_compile ablation")
+    return runs
+
+
 def check_file(path):
     with open(path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
     expect(isinstance(doc, dict), "top level must be an object")
+    if "baseline_version" in doc:
+        return check_baseline(doc)
     for key in ("benchmark", "schema_version", "runs"):
         expect(key in doc, f"top level missing '{key}'")
     expect(

@@ -28,8 +28,8 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--iters M] [--budget-seconds S]\n"
-      "          [--matrix full|quick] [--inject-bug NAME]\n"
-      "          [--inject-model-bug NAME] [--no-lint]\n"
+      "          [--matrix full|quick] [--engines all|interpreted|compiled]\n"
+      "          [--inject-bug NAME] [--inject-model-bug NAME] [--no-lint]\n"
       "          [--write-repro DIR] [--force-negation]\n"
       "          [--replay FILE] [--describe]\n",
       argv0);
@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   std::string model_bug;
   std::string replay_path;
   std::string write_repro_dir = ".";
+  std::string engines;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +75,15 @@ int main(int argc, char** argv) {
         full_matrix = true;
       } else if (m == "quick") {
         full_matrix = false;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--engines") {
+      const std::string e = next();
+      if (e == "all") {
+        engines.clear();
+      } else if (e == "interpreted" || e == "compiled") {
+        engines = e;
       } else {
         return Usage(argv[0]);
       }
@@ -147,7 +157,7 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    auto report = caesar::ReplayRepro(spec.value(), full_matrix);
+    auto report = caesar::ReplayRepro(spec.value(), full_matrix, engines);
     if (!report.ok()) {
       std::fprintf(stderr, "replay failed: %s\n",
                    report.status().ToString().c_str());
@@ -177,6 +187,7 @@ int main(int argc, char** argv) {
   options.budget_seconds = budget_seconds;
   options.full_matrix = full_matrix;
   options.bug = bug;
+  options.engines = engines;
   options.generator = generator;
   options.lint = lint;
   options.model_mutation = model_bug;
