@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 
 #include "common/logging.h"
+#include "durability/serde.h"
 
 namespace caesar {
 
@@ -128,6 +130,66 @@ std::vector<Value> AggregateOp::ComputeOutputs(const Group& group) const {
 }
 
 void AggregateOp::Reset() { groups_.clear(); }
+
+void AggregateOp::SaveState(StateWriter* w) const {
+  // Buckets are emitted in hash order (the unordered_map's own order is
+  // not byte-stable); within a bucket, vector order is preserved. Sums are
+  // saved bit-exact so incremental AVG/SUM keep their exact rounding
+  // history across a recovery.
+  std::map<size_t, const std::vector<Group>*> ordered;
+  for (const auto& [hash, bucket] : groups_) ordered[hash] = &bucket;
+  w->U32(static_cast<uint32_t>(ordered.size()));
+  for (const auto& [hash, bucket] : ordered) {
+    w->U64(hash);
+    w->U32(static_cast<uint32_t>(bucket->size()));
+    for (const Group& group : *bucket) {
+      w->U32(static_cast<uint32_t>(group.key.size()));
+      for (const Value& v : group.key) WriteValue(w, v);
+      w->U32(static_cast<uint32_t>(group.samples.size()));
+      for (const Sample& sample : group.samples) {
+        w->I64(sample.time);
+        w->U32(static_cast<uint32_t>(sample.values.size()));
+        for (double v : sample.values) w->F64(v);
+      }
+      w->U32(static_cast<uint32_t>(group.sums.size()));
+      for (double v : group.sums) w->F64(v);
+    }
+  }
+}
+
+Status AggregateOp::LoadState(StateReader* r) {
+  groups_.clear();
+  uint32_t n_buckets = r->U32();
+  for (uint32_t b = 0; r->ok() && b < n_buckets; ++b) {
+    uint64_t hash = r->U64();
+    uint32_t n_groups = r->U32();
+    std::vector<Group>& bucket = groups_[static_cast<size_t>(hash)];
+    for (uint32_t g = 0; r->ok() && g < n_groups; ++g) {
+      Group group;
+      uint32_t n_key = r->U32();
+      for (uint32_t i = 0; r->ok() && i < n_key; ++i) {
+        group.key.push_back(ReadValue(r));
+      }
+      uint32_t n_samples = r->U32();
+      for (uint32_t i = 0; r->ok() && i < n_samples; ++i) {
+        Sample sample;
+        sample.time = r->I64();
+        uint32_t n_values = r->U32();
+        for (uint32_t v = 0; r->ok() && v < n_values; ++v) {
+          sample.values.push_back(r->F64());
+        }
+        group.samples.push_back(std::move(sample));
+      }
+      uint32_t n_sums = r->U32();
+      for (uint32_t i = 0; r->ok() && i < n_sums; ++i) {
+        group.sums.push_back(r->F64());
+      }
+      bucket.push_back(std::move(group));
+    }
+  }
+  return r->ok() ? Status::Ok()
+                 : Status::DataLoss("truncated aggregate state");
+}
 
 void AggregateOp::ExpireBefore(Timestamp t) {
   for (auto& [hash, bucket] : groups_) {

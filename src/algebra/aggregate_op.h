@@ -50,6 +50,8 @@ class AggregateOp : public Operator {
   void Reset() override;
   void ExpireBefore(Timestamp t) override;
   std::string DebugString() const override;
+  void SaveState(StateWriter* w) const override;
+  Status LoadState(StateReader* r) override;
   double UnitCost() const override { return 2.0; }
 
   const AggregateOpConfig& config() const { return *config_; }

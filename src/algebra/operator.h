@@ -18,11 +18,15 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "event/event.h"
 #include "event/schema.h"
 #include "runtime/context_vector.h"
 
 namespace caesar {
+
+class StateWriter;
+class StateReader;
 
 // Per-call execution environment handed to Operator::Process.
 struct OpExecContext {
@@ -81,6 +85,19 @@ class Operator {
 
   // One-line description for plan printing.
   virtual std::string DebugString() const = 0;
+
+  // --- Durability hooks (durability/serde.h) ---
+  // Serializes the operator's mutable state. Configuration is rebuilt from
+  // the plan on recovery and never persisted; stateless operators write
+  // nothing. Byte-stable for identical state (checkpoint determinism).
+  virtual void SaveState(StateWriter* w) const { (void)w; }
+
+  // Restores state produced by SaveState on an identically configured
+  // fresh instance. Returns DataLoss on malformed bytes.
+  virtual Status LoadState(StateReader* r) {
+    (void)r;
+    return Status::Ok();
+  }
 
   // --- Cost model hooks (relative units; see optimizer/cost_model.h) ---
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "durability/serde.h"
 
 namespace caesar {
 
@@ -237,6 +238,66 @@ size_t PatternOp::negation_buffer_size() const {
 
 std::string PatternOp::DebugString() const {
   return "Pattern: " + config_->description;
+}
+
+void PatternOp::SaveState(StateWriter* w) const {
+  w->U32(static_cast<uint32_t>(partials_.size()));
+  for (const Partial& partial : partials_) {
+    w->U32(static_cast<uint32_t>(partial.bound.size()));
+    for (const EventPtr& event : partial.bound) {
+      w->Bool(event != nullptr);
+      if (event != nullptr) WriteEvent(w, *event);
+    }
+    w->U32(static_cast<uint32_t>(partial.next_positive));
+    w->I64(partial.first_time);
+    w->I64(partial.last_time);
+  }
+  w->U32(static_cast<uint32_t>(neg_buffers_.size()));
+  for (const auto& buffer : neg_buffers_) {
+    w->U32(static_cast<uint32_t>(buffer.size()));
+    for (const EventPtr& event : buffer) WriteEvent(w, *event);
+  }
+}
+
+Status PatternOp::LoadState(StateReader* r) {
+  partials_.clear();
+  uint32_t n_partials = r->U32();
+  for (uint32_t i = 0; r->ok() && i < n_partials; ++i) {
+    Partial partial;
+    uint32_t n_slots = r->U32();
+    if (!r->ok() || n_slots != config_->positions.size()) {
+      return Status::DataLoss("pattern partial does not match the plan");
+    }
+    partial.bound.resize(n_slots);
+    for (uint32_t s = 0; r->ok() && s < n_slots; ++s) {
+      if (!r->Bool()) continue;
+      partial.bound[s] = ReadEvent(r);
+      if (partial.bound[s] == nullptr) {
+        return Status::DataLoss("malformed pattern partial event");
+      }
+    }
+    partial.next_positive = static_cast<int>(r->U32());
+    partial.first_time = r->I64();
+    partial.last_time = r->I64();
+    partials_.push_back(std::move(partial));
+  }
+  uint32_t n_buffers = r->U32();
+  if (!r->ok() || n_buffers != neg_buffers_.size()) {
+    return Status::DataLoss("negation buffers do not match the plan");
+  }
+  for (auto& buffer : neg_buffers_) {
+    buffer.clear();
+    uint32_t n = r->U32();
+    for (uint32_t i = 0; r->ok() && i < n; ++i) {
+      EventPtr event = ReadEvent(r);
+      if (event == nullptr) {
+        return Status::DataLoss("malformed negation buffer event");
+      }
+      buffer.push_back(std::move(event));
+    }
+  }
+  return r->ok() ? Status::Ok()
+                 : Status::DataLoss("truncated pattern matcher state");
 }
 
 double PatternOp::UnitCost() const {

@@ -70,6 +70,8 @@ class PatternOp : public Operator {
   void Reset() override;
   void ExpireBefore(Timestamp t) override;
   std::string DebugString() const override;
+  void SaveState(StateWriter* w) const override;
+  Status LoadState(StateReader* r) override;
 
   double UnitCost() const override;
   double Selectivity() const override;

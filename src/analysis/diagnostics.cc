@@ -51,6 +51,10 @@ const char* DiagCodeName(DiagCode code) {
     case DiagCode::kI404NegativeTime: return "I404";
     case DiagCode::kI405InvertedInterval: return "I405";
     case DiagCode::kI406MalformedCsv: return "I406";
+    case DiagCode::kI410TornWalTail: return "I410";
+    case DiagCode::kI411CheckpointCrcMismatch: return "I411";
+    case DiagCode::kI412WalRecordCrcMismatch: return "I412";
+    case DiagCode::kI413StaleWalRecord: return "I413";
   }
   return "????";
 }
@@ -91,6 +95,13 @@ const char* DiagCodeTitle(DiagCode code) {
     case DiagCode::kI404NegativeTime: return "negative time";
     case DiagCode::kI405InvertedInterval: return "inverted interval";
     case DiagCode::kI406MalformedCsv: return "malformed CSV";
+    case DiagCode::kI410TornWalTail: return "torn WAL tail truncated";
+    case DiagCode::kI411CheckpointCrcMismatch:
+      return "checkpoint CRC mismatch, skipped";
+    case DiagCode::kI412WalRecordCrcMismatch:
+      return "WAL record CRC mismatch, replay stopped";
+    case DiagCode::kI413StaleWalRecord:
+      return "stale WAL record skipped";
   }
   return "?";
 }
@@ -106,6 +117,12 @@ DiagSeverity DiagCodeDefaultSeverity(DiagCode code) {
     case DiagCode::kW202UnsatisfiableSeq:
     case DiagCode::kW204InvertedWindowBounds:
     case DiagCode::kW205ConstantPredicate:
+    // Recovery degradation: the engine resumes (that is the point of the
+    // WAL's commit boundary), but durability was imperfect — report it.
+    case DiagCode::kI410TornWalTail:
+    case DiagCode::kI411CheckpointCrcMismatch:
+    case DiagCode::kI412WalRecordCrcMismatch:
+    case DiagCode::kI413StaleWalRecord:
       return DiagSeverity::kWarning;
     // Notes: purely informational (why an optimization does not apply).
     case DiagCode::kW203UngroupableWindow:

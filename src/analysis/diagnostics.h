@@ -69,6 +69,12 @@ enum class DiagCode : int16_t {
   kI404NegativeTime,
   kI405InvertedInterval,
   kI406MalformedCsv,
+  // Recovery degradation (durability/): surfaced through the recovered
+  // engine's StatisticsReport so a lossy restart is reported, not silent.
+  kI410TornWalTail,          // incomplete final WAL record truncated
+  kI411CheckpointCrcMismatch,// checkpoint failed its checksum, skipped
+  kI412WalRecordCrcMismatch, // mid-log record failed its checksum
+  kI413StaleWalRecord,       // record at or below the recovery horizon
 };
 
 // Stable printable code, e.g. "C001".

@@ -26,6 +26,7 @@ enum class StatusCode : int8_t {
   kUnimplemented,
   kInternal,
   kParseError,
+  kDataLoss,  // durable artifact unreadable or failed its checksum
 };
 
 // Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -63,6 +64,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

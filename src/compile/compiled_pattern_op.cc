@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "durability/serde.h"
 
 namespace caesar {
 
@@ -251,6 +252,84 @@ size_t CompiledPatternOp::negation_buffer_size() const {
 
 std::string CompiledPatternOp::DebugString() const {
   return "CompiledPattern: " + automaton_->config->description;
+}
+
+void CompiledPatternOp::SaveState(StateWriter* w) const {
+  // Everything the determinism contract depends on is saved verbatim —
+  // in particular run seq values and the global counter, so a recovered
+  // engine merges probe order exactly like the uninterrupted one.
+  // state_min_first_ is derived and recomputed on load; state_stats_ are
+  // observability, folded into RunStats at batch end, and start fresh.
+  w->U64(seq_counter_);
+  w->U32(static_cast<uint32_t>(runs_.size()));
+  for (const auto& dq : runs_) {
+    w->U32(static_cast<uint32_t>(dq.size()));
+    for (const Run& run : dq) {
+      w->U32(static_cast<uint32_t>(run.bound.size()));
+      for (const EventPtr& event : run.bound) {
+        w->Bool(event != nullptr);
+        if (event != nullptr) WriteEvent(w, *event);
+      }
+      w->I64(run.first_time);
+      w->I64(run.last_time);
+      w->U64(run.seq);
+    }
+  }
+  w->U32(static_cast<uint32_t>(neg_buffers_.size()));
+  for (const auto& buffer : neg_buffers_) {
+    w->U32(static_cast<uint32_t>(buffer.size()));
+    for (const EventPtr& event : buffer) WriteEvent(w, *event);
+  }
+}
+
+Status CompiledPatternOp::LoadState(StateReader* r) {
+  seq_counter_ = r->U64();
+  uint32_t n_states = r->U32();
+  if (!r->ok() || n_states != runs_.size()) {
+    return Status::DataLoss("automaton state set does not match the plan");
+  }
+  for (size_t s = 0; s < runs_.size(); ++s) {
+    runs_[s].clear();
+    state_min_first_[s] = kNoRuns;
+    uint32_t n_runs = r->U32();
+    for (uint32_t i = 0; r->ok() && i < n_runs; ++i) {
+      Run run;
+      uint32_t n_slots = r->U32();
+      if (!r->ok() || n_slots != automaton_->config->positions.size()) {
+        return Status::DataLoss("automaton run does not match the plan");
+      }
+      run.bound.resize(n_slots);
+      for (uint32_t slot = 0; r->ok() && slot < n_slots; ++slot) {
+        if (!r->Bool()) continue;
+        run.bound[slot] = ReadEvent(r);
+        if (run.bound[slot] == nullptr) {
+          return Status::DataLoss("malformed automaton run event");
+        }
+      }
+      run.first_time = r->I64();
+      run.last_time = r->I64();
+      run.seq = r->U64();
+      state_min_first_[s] = std::min(state_min_first_[s], run.first_time);
+      runs_[s].push_back(std::move(run));
+    }
+  }
+  uint32_t n_buffers = r->U32();
+  if (!r->ok() || n_buffers != neg_buffers_.size()) {
+    return Status::DataLoss("negation buffers do not match the plan");
+  }
+  for (auto& buffer : neg_buffers_) {
+    buffer.clear();
+    uint32_t n = r->U32();
+    for (uint32_t i = 0; r->ok() && i < n; ++i) {
+      EventPtr event = ReadEvent(r);
+      if (event == nullptr) {
+        return Status::DataLoss("malformed negation buffer event");
+      }
+      buffer.push_back(std::move(event));
+    }
+  }
+  return r->ok() ? Status::Ok()
+                 : Status::DataLoss("truncated automaton state");
 }
 
 double CompiledPatternOp::UnitCost() const {

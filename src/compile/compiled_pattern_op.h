@@ -49,6 +49,8 @@ class CompiledPatternOp : public Operator {
   void Reset() override;
   void ExpireBefore(Timestamp t) override;
   std::string DebugString() const override;
+  void SaveState(StateWriter* w) const override;
+  Status LoadState(StateReader* r) override;
 
   // Static estimates match the interpreted operator's: the engine selects
   // the pattern engine after planning, so the two must cost identically or

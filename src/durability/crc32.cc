@@ -1,0 +1,32 @@
+#include "durability/crc32.h"
+
+namespace caesar {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const Crc32Table table;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace caesar

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320 — the zlib/PNG
+// variant). Every durability artifact (WAL record, checkpoint payload) is
+// framed with its CRC so recovery can tell a torn or corrupted tail from a
+// valid record without trusting file sizes.
+
+#ifndef CAESAR_DURABILITY_CRC32_H_
+#define CAESAR_DURABILITY_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace caesar {
+
+// Checksum of `size` bytes at `data`. `seed` chains incremental updates:
+// Crc32(b, Crc32(a)) == Crc32(a + b).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace caesar
+
+#endif  // CAESAR_DURABILITY_CRC32_H_

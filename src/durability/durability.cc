@@ -1,0 +1,73 @@
+#include "durability/durability.h"
+
+namespace caesar {
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kWal:
+      return "wal";
+    case DurabilityMode::kWalCheckpoint:
+      return "wal+checkpoint";
+  }
+  return "?";
+}
+
+bool ParseDurabilityMode(const std::string& name, DurabilityMode* out) {
+  if (name == "off") {
+    *out = DurabilityMode::kOff;
+  } else if (name == "wal") {
+    *out = DurabilityMode::kWal;
+  } else if (name == "wal+checkpoint") {
+    *out = DurabilityMode::kWalCheckpoint;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:
+      return "none";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "?";
+}
+
+bool ParseFsyncPolicy(const std::string& name, FsyncPolicy* out) {
+  if (name == "none") {
+    *out = FsyncPolicy::kNone;
+  } else if (name == "batch") {
+    *out = FsyncPolicy::kBatch;
+  } else if (name == "always") {
+    *out = FsyncPolicy::kAlways;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status DurabilityOptions::Validate() const {
+  if (mode == DurabilityMode::kOff) return Status::Ok();
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "DurabilityOptions::dir must be set when durability is on");
+  }
+  if (checkpoint_interval_ticks < 1) {
+    return Status::InvalidArgument(
+        "DurabilityOptions::checkpoint_interval_ticks must be >= 1, got " +
+        std::to_string(checkpoint_interval_ticks));
+  }
+  if (segment_bytes < 1) {
+    return Status::InvalidArgument(
+        "DurabilityOptions::segment_bytes must be >= 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace caesar

@@ -1,0 +1,121 @@
+#include "durability/manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace caesar {
+
+Result<RecoveryScan> ScanForRecovery(const DurabilityOptions& options) {
+  CAESAR_RETURN_IF_ERROR(options.Validate());
+  RecoveryScan scan;
+  CAESAR_ASSIGN_OR_RETURN(CheckpointScanResult ckpt,
+                          FindLatestCheckpoint(options.dir));
+  scan.checkpoint_found = ckpt.found;
+  scan.checkpoints_skipped = ckpt.skipped_corrupt;
+  scan.diagnostics = std::move(ckpt.diagnostics);
+  uint64_t from_segment = 0;
+  uint64_t horizon = 0;
+  if (ckpt.found) {
+    scan.checkpoint = std::move(ckpt.latest);
+    from_segment = scan.checkpoint.wal_seq;
+    horizon = scan.checkpoint.batch_seq;
+  }
+  CAESAR_ASSIGN_OR_RETURN(WalScanResult wal,
+                          ScanWal(options.dir, from_segment, horizon));
+  scan.batches = std::move(wal.batches);
+  scan.torn_tail_truncations = wal.torn_tail_truncations;
+  for (auto& diag : wal.diagnostics) {
+    scan.diagnostics.push_back(std::move(diag));
+  }
+  scan.next_batch_seq = std::max(horizon, wal.max_batch_seq) + 1;
+  scan.next_segment_seq = std::max(wal.next_segment_seq, from_segment + 1);
+  return scan;
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    const DurabilityOptions& options) {
+  // A fresh engine pointed at a directory with prior artifacts must keep
+  // batch sequences monotone past whatever is already committed there, or
+  // a later recovery would misread the new records as stale (I413). The
+  // recovery scan yields exactly those continuation points; the replay
+  // payload is simply discarded.
+  CAESAR_ASSIGN_OR_RETURN(RecoveryScan scan, ScanForRecovery(options));
+  auto manager =
+      std::unique_ptr<DurabilityManager>(new DurabilityManager(options));
+  manager->last_committed_seq_ = scan.next_batch_seq - 1;
+  if (scan.checkpoint_found) {
+    manager->last_checkpoint_tick_ = scan.checkpoint.last_tick;
+    manager->cadence_anchored_ = true;
+  }
+  CAESAR_ASSIGN_OR_RETURN(
+      manager->writer_,
+      WalWriter::Open(options, scan.next_segment_seq, &manager->counters_));
+  return manager;
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::OpenAfterRecovery(
+    const DurabilityOptions& options, const RecoveryScan& scan,
+    Timestamp last_checkpoint_tick, int64_t replayed_events) {
+  auto manager =
+      std::unique_ptr<DurabilityManager>(new DurabilityManager(options));
+  manager->last_committed_seq_ = scan.next_batch_seq - 1;
+  manager->counters_.recovery_replayed_events = replayed_events;
+  manager->counters_.torn_tail_truncations = scan.torn_tail_truncations;
+  if (scan.checkpoint_found || !scan.batches.empty()) {
+    manager->last_checkpoint_tick_ = last_checkpoint_tick;
+    manager->cadence_anchored_ = true;
+  }
+  CAESAR_ASSIGN_OR_RETURN(
+      manager->writer_,
+      WalWriter::Open(options, scan.next_segment_seq, &manager->counters_));
+  return manager;
+}
+
+Status DurabilityManager::AppendTick(Timestamp t, const EventPtr* events,
+                                     size_t n) {
+  if (!cadence_anchored_) {
+    // First tick ever logged anchors the checkpoint cadence so the first
+    // checkpoint lands one interval into the stream, wherever it starts.
+    last_checkpoint_tick_ = t;
+    cadence_anchored_ = true;
+  }
+  return writer_->Append(EncodeTickRecord(pending_batch_seq(), t, events, n),
+                         "wal_append");
+}
+
+Status DurabilityManager::CommitBatch(std::string_view snapshot) {
+  CAESAR_RETURN_IF_ERROR(writer_->Append(
+      EncodeCommitRecord(pending_batch_seq(), snapshot), "wal_commit"));
+  if (options_.fsync == FsyncPolicy::kBatch) {
+    CAESAR_RETURN_IF_ERROR(writer_->Sync());
+  }
+  ++last_committed_seq_;
+  return writer_->MaybeRotate();
+}
+
+bool DurabilityManager::ShouldCheckpoint(Timestamp t) const {
+  return options_.mode == DurabilityMode::kWalCheckpoint &&
+         cadence_anchored_ &&
+         t - last_checkpoint_tick_ >= options_.checkpoint_interval_ticks;
+}
+
+Status DurabilityManager::WriteCheckpoint(Timestamp t,
+                                          std::string engine_state) {
+  // Rotate first so the checkpoint can truthfully say "batches beyond me
+  // start at wal_seq": the fresh segment holds nothing committed yet.
+  uint64_t new_seg = writer_->segment_seq() + 1;
+  CAESAR_RETURN_IF_ERROR(writer_->Rotate(new_seg));
+  CheckpointInfo info;
+  info.batch_seq = last_committed_seq_;
+  info.wal_seq = new_seg;
+  info.last_tick = t;
+  info.payload = std::move(engine_state);
+  CAESAR_RETURN_IF_ERROR(WriteCheckpointFile(options_.dir, info,
+                                             options_.crash_hook,
+                                             &counters_.fsyncs));
+  ++counters_.checkpoints_written;
+  last_checkpoint_tick_ = t;
+  return RetireOldArtifacts(options_.dir, 2);
+}
+
+}  // namespace caesar

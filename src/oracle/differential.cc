@@ -1,7 +1,10 @@
 #include "oracle/differential.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
@@ -304,6 +307,214 @@ Result<DivergenceReport> CompareCase(const CaesarModel& model,
       report.detail = DescribeByteDiff(cached->second, compiled_bytes);
       return report;
     }
+  }
+  return report;
+}
+
+Result<DivergenceReport> CompareCrashRecovery(
+    const CaesarModel& model, const EventBatch& clean, uint64_t seed,
+    const DifferentialOptions& options) {
+  DivergenceReport report;
+  if (clean.empty()) return report;
+
+  OptimizerOptions opt;
+  opt.default_within = options.oracle.default_within;
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan plan, OptimizeModel(model, opt));
+
+  // Tick-aligned batches: one Run = one WAL batch, and events of one time
+  // stamp never straddle a commit.
+  std::vector<EventBatch> batches;
+  {
+    int distinct = 0;
+    Timestamp prev = 0;
+    bool counted_any = false;
+    for (const EventPtr& event : clean) {
+      if (!counted_any || event->time() != prev) {
+        ++distinct;
+        prev = event->time();
+        counted_any = true;
+      }
+    }
+    const int per_batch = std::max(1, distinct / 6);
+    EventBatch current;
+    int in_batch = 0;
+    bool any = false;
+    for (const EventPtr& event : clean) {
+      if (!any || event->time() != prev) {
+        if (in_batch == per_batch) {
+          batches.push_back(std::move(current));
+          current.clear();
+          in_batch = 0;
+        }
+        ++in_batch;
+        prev = event->time();
+        any = true;
+      }
+      current.push_back(event);
+    }
+    if (!current.empty()) batches.push_back(std::move(current));
+  }
+
+  constexpr const char* kPoints[] = {"wal_append", "wal_commit",
+                                     "checkpoint_write", "checkpoint_publish"};
+  const std::string point = kPoints[seed % 4];
+
+  for (const bool compiled : {false, true}) {
+    if (options.engines == "interpreted" && compiled) continue;
+    if (options.engines == "compiled" && !compiled) continue;
+    const std::string leg = compiled ? "recovery/cmp" : "recovery/interp";
+
+    EngineOptions base;
+    base.gc_interval = options.oracle.gc_interval;
+    base.gc_horizon = options.oracle.gc_horizon;
+    base.pattern_engine =
+        compiled ? PatternEngine::kCompiled : PatternEngine::kInterpreted;
+
+    // Uninterrupted reference, durability off.
+    std::vector<std::string> expected;
+    Engine reference(plan.Clone(), base);
+    for (const EventBatch& batch : batches) {
+      EventBatch derived;
+      auto run = reference.Run(batch, &derived);
+      if (!run.ok()) {
+        report.diverged = true;
+        report.leg = leg;
+        report.detail = "reference Run failed: " + run.status().ToString();
+        return report;
+      }
+      expected.push_back(RenderDerived(derived, *model.registry()));
+    }
+
+    const std::filesystem::path scratch =
+        std::filesystem::temp_directory_path() /
+        ("caesar_diff_recovery_" + std::to_string(::getpid()) + "_" +
+         std::to_string(seed) + (compiled ? "_cmp" : "_interp"));
+    std::filesystem::remove_all(scratch);
+    auto durable = [&](const std::string& suffix) {
+      EngineOptions eo = base;
+      eo.durability.mode = DurabilityMode::kWalCheckpoint;
+      eo.durability.dir = (scratch / suffix).string();
+      eo.durability.fsync = FsyncPolicy::kNone;
+      eo.durability.checkpoint_interval_ticks = 8;
+      return eo;
+    };
+
+    // Probe pass: count how often the crash point is reachable (and check
+    // that logging alone does not perturb the output).
+    int64_t occurrences = 0;
+    {
+      EngineOptions eo = durable("probe");
+      eo.durability.crash_hook = [&occurrences, &point](std::string_view p) {
+        if (p == point) ++occurrences;
+        return false;
+      };
+      Engine probe(plan.Clone(), eo);
+      for (size_t b = 0; b < batches.size(); ++b) {
+        EventBatch derived;
+        auto run = probe.Run(batches[b], &derived);
+        if (!run.ok()) {
+          report.diverged = true;
+          report.leg = leg;
+          report.detail = "durable Run failed: " + run.status().ToString();
+          return report;
+        }
+        const std::string bytes = RenderDerived(derived, *model.registry());
+        if (bytes != expected[b]) {
+          report.diverged = true;
+          report.leg = leg;
+          report.detail = "WAL-on output differs from durability-off, batch " +
+                          std::to_string(b) + ": " +
+                          DescribeByteDiff(expected[b], bytes);
+          return report;
+        }
+      }
+    }
+    if (occurrences == 0) {
+      // Stream too short for this crash point (e.g. no checkpoint cadence
+      // hit); nothing to kill.
+      std::filesystem::remove_all(scratch);
+      continue;
+    }
+
+    // Crash pass: kill at a seed-chosen occurrence.
+    const int64_t nth = static_cast<int64_t>((seed / 4) % occurrences);
+    bool crashed = false;
+    {
+      EngineOptions eo = durable("crash");
+      int64_t seen = 0;
+      eo.durability.crash_hook = [&seen, &point, nth](std::string_view p) {
+        return p == point && seen++ == nth;
+      };
+      Engine victim(plan.Clone(), eo);
+      for (const EventBatch& batch : batches) {
+        if (!victim.Run(batch, nullptr).ok()) {
+          crashed = true;
+          break;
+        }
+      }
+    }
+    if (!crashed) {
+      report.diverged = true;
+      report.leg = leg;
+      report.detail = "crash hook at " + point + " occurrence " +
+                      std::to_string(nth) + " never fired";
+      return report;
+    }
+
+    // Recovery pass: rebuild, re-submit the non-durable suffix, compare.
+    auto recovered = Engine::Recover(plan.Clone(), durable("crash"));
+    if (!recovered.ok()) {
+      report.diverged = true;
+      report.leg = leg;
+      report.detail = "Engine::Recover failed: " +
+                      recovered.status().ToString();
+      return report;
+    }
+    Engine& engine = *recovered.value();
+    const uint64_t resume = engine.durable_batch_seq();
+    if (resume > batches.size()) {
+      report.diverged = true;
+      report.leg = leg;
+      report.detail = "durable_batch_seq " + std::to_string(resume) +
+                      " beyond the " + std::to_string(batches.size()) +
+                      " submitted batches";
+      return report;
+    }
+    for (size_t b = resume; b < batches.size(); ++b) {
+      EventBatch derived;
+      auto run = engine.Run(batches[b], &derived);
+      if (!run.ok()) {
+        report.diverged = true;
+        report.leg = leg;
+        report.detail = "post-recovery Run failed on batch " +
+                        std::to_string(b) + ": " + run.status().ToString();
+        return report;
+      }
+      const std::string bytes = RenderDerived(derived, *model.registry());
+      if (bytes != expected[b]) {
+        report.diverged = true;
+        report.leg = leg;
+        report.detail = "recovered output differs on batch " +
+                        std::to_string(b) + " (crash at " + point +
+                        " occurrence " + std::to_string(nth) + "): " +
+                        DescribeByteDiff(expected[b], bytes);
+        return report;
+      }
+    }
+    const IngestMetrics& want = reference.ingest_metrics();
+    const IngestMetrics& got = engine.ingest_metrics();
+    if (want.admitted != got.admitted || want.reordered != got.reordered ||
+        want.dropped_late != got.dropped_late ||
+        want.quarantined != got.quarantined ||
+        want.max_observed_lateness != got.max_observed_lateness ||
+        reference.quarantine().total() != engine.quarantine().total()) {
+      report.diverged = true;
+      report.leg = leg;
+      report.detail = "recovered degradation counters differ (crash at " +
+                      point + " occurrence " + std::to_string(nth) + ")";
+      return report;
+    }
+    std::filesystem::remove_all(scratch);
   }
   return report;
 }
@@ -762,6 +973,26 @@ Result<FuzzResult> RunFuzz(const FuzzOptions& options) {
       result.repro.expect = "diverge";
       result.repro.note = "leg " + report.leg;
       return result;
+    }
+    if (options.crash_recovery) {
+      TypeRegistry recovery_registry;
+      CAESAR_ASSIGN_OR_RETURN(MaterializedCase c,
+                              Materialize(spec, &recovery_registry));
+      DifferentialOptions diff;
+      diff.engines = options.engines;
+      CAESAR_ASSIGN_OR_RETURN(
+          DivergenceReport recovery,
+          CompareCrashRecovery(c.model, c.clean, spec.seed, diff));
+      if (recovery.diverged) {
+        result.diverged = true;
+        result.report = recovery;
+        // Recovery legs are not matrix legs, so ShrinkRepro cannot pin
+        // them; record the unshrunken case.
+        result.repro = spec;
+        result.repro.expect = "diverge";
+        result.repro.note = "leg " + recovery.leg;
+        return result;
+      }
     }
     if (options.budget_seconds > 0) {
       const double elapsed =

@@ -97,6 +97,20 @@ Result<DivergenceReport> CompareCase(const CaesarModel& model,
                                      Timestamp reorder_slack,
                                      const DifferentialOptions& options = {});
 
+// Crash-recovery leg: runs the optimizer plan over `clean` in tick-aligned
+// batches with durability on, kills the engine at a seed-chosen crash point
+// (WAL append, group commit, checkpoint write, or checkpoint publication),
+// rebuilds it with Engine::Recover, re-submits the batches after
+// durable_batch_seq(), and requires the remaining derived stream to be
+// byte-identical to an uninterrupted durability-off run — plus equal ingest
+// degradation counters — for both pattern engines (options.engines filters
+// as usual). Divergences report as leg "recovery/interp" / "recovery/cmp".
+// Scratch WAL/checkpoint directories live under the system temp dir and are
+// removed on success.
+Result<DivergenceReport> CompareCrashRecovery(
+    const CaesarModel& model, const EventBatch& clean, uint64_t seed,
+    const DifferentialOptions& options = {});
+
 // ---- Replayable repro files ------------------------------------------
 
 // A divergence repro: everything needed to regenerate the failing case.
@@ -167,6 +181,11 @@ struct FuzzOptions {
   // the analyzer to report the mutation's paired diagnostic code. Skips
   // the engine/oracle comparison (the mutated model is not meant to run).
   std::string model_mutation;
+
+  // Adds the CompareCrashRecovery leg to every iteration that survives the
+  // matrix comparison (kill at a seed-chosen crash point, recover, demand
+  // byte-identical remaining output).
+  bool crash_recovery = false;
 };
 
 struct FuzzResult {

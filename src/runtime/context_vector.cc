@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "durability/serde.h"
+
 namespace caesar {
 
 ContextBitVector::ContextBitVector(int num_contexts, int default_context)
@@ -37,6 +39,27 @@ bool ContextBitVector::Terminate(int c, Timestamp now) {
   }
   ++version_;
   return true;
+}
+
+void ContextBitVector::Save(StateWriter* w) const {
+  w->U64(bits_);
+  w->I64(time_);
+  w->U64(version_);
+  w->U32(static_cast<uint32_t>(since_.size()));
+  for (Timestamp t : since_) w->I64(t);
+}
+
+Status ContextBitVector::Load(StateReader* r) {
+  bits_ = r->U64();
+  time_ = r->I64();
+  version_ = r->U64();
+  uint32_t n = r->U32();
+  if (!r->ok() || n != since_.size()) {
+    return Status::DataLoss("context vector does not match the model");
+  }
+  for (Timestamp& t : since_) t = r->I64();
+  return r->ok() ? Status::Ok()
+                 : Status::DataLoss("truncated context vector state");
 }
 
 std::string ContextBitVector::ToString() const {

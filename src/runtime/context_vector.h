@@ -16,9 +16,13 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "event/event.h"
 
 namespace caesar {
+
+class StateWriter;
+class StateReader;
 
 // Maximum number of context types per model: one bit each in a single word.
 inline constexpr int kMaxContexts = 64;
@@ -65,6 +69,12 @@ class ContextBitVector {
   uint64_t version() const { return version_; }
 
   std::string ToString() const;
+
+  // Checkpoint serialization (durability/serde.h). Configuration
+  // (num_contexts, default_context) comes from the model, not the bytes;
+  // Load validates the window count against it.
+  void Save(StateWriter* w) const;
+  Status Load(StateReader* r);
 
  private:
   int num_contexts_;

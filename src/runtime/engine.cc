@@ -10,6 +10,8 @@
 #include "common/stopwatch.h"
 #include "compile/compiled_pattern_op.h"
 #include "compile/compiler.h"
+#include "durability/manager.h"
+#include "durability/serde.h"
 #include "plan/translator.h"
 
 namespace caesar {
@@ -92,6 +94,10 @@ std::string RunStats::ToString() const {
        << " dropped_late=" << events_dropped_late
        << " quarantined=" << events_quarantined
        << " max_lateness=" << max_observed_lateness;
+  }
+  if (wal_records > 0 || checkpoints_written > 0) {
+    os << " wal_records=" << wal_records << " wal_bytes=" << wal_bytes
+       << " fsyncs=" << fsyncs << " checkpoints=" << checkpoints_written;
   }
   for (const auto& [type, count] : derived_by_type) {
     os << "\n  " << type << ": " << count;
@@ -263,6 +269,7 @@ Status EngineOptions::Validate() const {
         "EngineOptions::timeline_capacity must be >= 1, got " +
         std::to_string(timeline_capacity));
   }
+  CAESAR_RETURN_IF_ERROR(durability.Validate());
   return Status::Ok();
 }
 
@@ -558,6 +565,16 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
   RunStats stats;
   stats.input_events = static_cast<int64_t>(raw_input.size());
   const IngestMetrics ingest_before = ingest_metrics_;
+  // Lazy durability open: I/O failures surface here as a Status instead of
+  // aborting construction. Recover installs the manager itself, and replay
+  // must not re-log what it reads.
+  if (options_.durability.mode != DurabilityMode::kOff &&
+      durability_ == nullptr && !replaying_) {
+    CAESAR_ASSIGN_OR_RETURN(durability_,
+                            DurabilityManager::Open(options_.durability));
+  }
+  const DurabilityCounters durability_before =
+      durability_ != nullptr ? durability_->counters() : DurabilityCounters{};
   // Install the trace sink for the scheduler thread (no-op when null).
   TraceScope trace_scope(trace_.get());
   CAESAR_TRACE_SPAN("run");
@@ -589,6 +606,14 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
     Timestamp t = input[i]->time();
     size_t j = i;
     while (j < input.size() && input[j]->time() == t) ++j;
+
+    // Write-ahead: the tick's admitted events hit the log before any state
+    // mutates. A failed append (disk error, injected crash) aborts the Run
+    // with this batch uncommitted — recovery discards its unsealed records.
+    if (durability_ != nullptr && !replaying_) {
+      CAESAR_RETURN_IF_ERROR(
+          durability_->AppendTick(t, input.data() + i, j - i));
+    }
 
     // Distribute this time stamp's events to partitions (the event
     // distributor + event queues of Fig. 8). std::map gives deterministic
@@ -733,7 +758,22 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
       }
     }
 
+    last_processed_tick_ = t;
+    any_tick_processed_ = true;
     i = j;
+  }
+
+  // Group commit: one commit record seals the whole batch (fsync per the
+  // policy), then the checkpoint cadence gets its chance at the boundary.
+  if (durability_ != nullptr && !replaying_) {
+    CAESAR_RETURN_IF_ERROR(
+        durability_->CommitBatch(SerializeIngestSnapshot()));
+    if (any_tick_processed_ &&
+        durability_->ShouldCheckpoint(last_processed_tick_)) {
+      CAESAR_RETURN_IF_ERROR(
+          durability_->WriteCheckpoint(last_processed_tick_,
+                                       SerializeState()));
+    }
   }
 
   stats.max_latency = latency.max();
@@ -766,6 +806,14 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
       ingest_metrics_.dropped_late - ingest_before.dropped_late;
   stats.events_quarantined =
       ingest_metrics_.quarantined - ingest_before.quarantined;
+  if (durability_ != nullptr) {
+    const DurabilityCounters& dur = durability_->counters();
+    stats.wal_records = dur.wal_records - durability_before.wal_records;
+    stats.wal_bytes = dur.wal_bytes - durability_before.wal_bytes;
+    stats.fsyncs = dur.fsyncs - durability_before.fsyncs;
+    stats.checkpoints_written =
+        dur.checkpoints_written - durability_before.checkpoints_written;
+  }
   return stats;
 }
 
@@ -904,6 +952,10 @@ StatisticsReport Engine::CollectStatistics() const {
   }
   report.ingest = ingest_metrics_;
   report.analysis_diagnostics = analysis_diagnostics_;
+  report.durability_mode = options_.durability.mode;
+  if (durability_ != nullptr) report.durability = durability_->counters();
+  report.recovered = recovered_;
+  report.recovery_diagnostics = recovery_diagnostics_;
   if (options_.metrics >= MetricsGranularity::kEngine) {
     report.ticks = tick_metrics_;
     report.timeline = timeline_->Snapshot();
@@ -989,6 +1041,286 @@ void Engine::HandleWindowTransitions(PartitionState* partition,
                                          : *partition->contexts;
   ApplyWindowTransitions(query->chain.ops, query->gate, contexts,
                          &query->transition);
+}
+
+// --- Durability: state serialization and crash recovery --------------------
+
+namespace {
+
+constexpr uint8_t kSnapshotVersion = 1;    // per-batch commit snapshot
+constexpr uint8_t kCheckpointVersion = 1;  // full checkpoint payload
+
+void SaveTransition(StateWriter* w, const TransitionState& t) {
+  w->Bool(t.was_active);
+  w->U64(t.last_active_bits);
+}
+
+void LoadTransition(StateReader* r, TransitionState* t) {
+  t->was_active = r->Bool();
+  t->last_active_bits = r->U64();
+}
+
+// Each operator's state is length-framed so a loader can verify the
+// operator consumed exactly the bytes its saver produced — a plan/state
+// mismatch fails loudly at the offending operator instead of desyncing
+// the rest of the payload.
+void SaveChainOps(StateWriter* w, const OpChain& chain) {
+  for (const auto& op : chain.ops) {
+    StateWriter op_w;
+    op->SaveState(&op_w);
+    w->Str(op_w.data());
+  }
+}
+
+Status LoadChainOps(StateReader* r, OpChain* chain, const std::string& what) {
+  for (auto& op : chain->ops) {
+    std::string bytes = r->Str();
+    if (!r->ok()) return Status::DataLoss(what + ": truncated operator state");
+    StateReader op_r(bytes);
+    CAESAR_RETURN_IF_ERROR(op->LoadState(&op_r));
+    CAESAR_RETURN_IF_ERROR(op_r.CheckFullyConsumed(what));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string Engine::SerializeIngestSnapshot() const {
+  // Absolute values, not deltas: re-restoring the same snapshot is
+  // idempotent, so replay can apply it after every batch unconditionally.
+  StateWriter w;
+  w.U8(kSnapshotVersion);
+  w.I64(ingest_metrics_.admitted);
+  w.I64(ingest_metrics_.reordered);
+  w.I64(ingest_metrics_.dropped_late);
+  w.I64(ingest_metrics_.quarantined);
+  w.I64(ingest_metrics_.max_observed_lateness);
+  w.Bool(drop_any_admitted_);
+  w.I64(drop_max_admitted_);
+  w.Bool(reorder_ != nullptr);
+  if (reorder_ != nullptr) reorder_->Save(&w);
+  quarantine_.Save(&w);
+  w.F64(vclock_completion_);
+  w.I64(last_gc_);
+  w.Bool(any_tick_processed_);
+  w.I64(last_processed_tick_);
+  return w.Take();
+}
+
+Status Engine::RestoreIngestSnapshot(std::string_view snapshot) {
+  StateReader r(snapshot);
+  uint8_t version = r.U8();
+  if (r.ok() && version != kSnapshotVersion) {
+    return Status::DataLoss("unsupported commit snapshot version " +
+                            std::to_string(version));
+  }
+  ingest_metrics_.admitted = r.I64();
+  ingest_metrics_.reordered = r.I64();
+  ingest_metrics_.dropped_late = r.I64();
+  ingest_metrics_.quarantined = r.I64();
+  ingest_metrics_.max_observed_lateness = r.I64();
+  drop_any_admitted_ = r.Bool();
+  drop_max_admitted_ = r.I64();
+  bool has_reorder = r.Bool();
+  if (r.ok() && has_reorder != (reorder_ != nullptr)) {
+    return Status::DataLoss(
+        "commit snapshot ingest policy does not match the engine's");
+  }
+  if (reorder_ != nullptr) CAESAR_RETURN_IF_ERROR(reorder_->Load(&r));
+  CAESAR_RETURN_IF_ERROR(quarantine_.Load(&r));
+  vclock_completion_ = r.F64();
+  last_gc_ = r.I64();
+  any_tick_processed_ = r.Bool();
+  last_processed_tick_ = r.I64();
+  return r.CheckFullyConsumed("commit snapshot");
+}
+
+std::string Engine::SerializeState() const {
+  // Partition iteration is over a std::map (key ascending) and every nested
+  // container either preserves insertion order or is explicitly ordered by
+  // its saver, so identical engine state yields identical checkpoint bytes.
+  // Wall-clock telemetry (tick metrics, timeline, registry, histogram
+  // shards) is deliberately not persisted: it restarts after recovery.
+  StateWriter w;
+  w.U8(kCheckpointVersion);
+  w.Str(SerializeIngestSnapshot());
+  w.U32(static_cast<uint32_t>(partitions_.size()));
+  for (const auto& [key, partition] : partitions_) {
+    w.U64(key);
+    partition->contexts->Save(&w);
+    w.U64(partition->ops_counter);
+    w.I64(partition->total_suspended);
+    w.I64(partition->total_executed);
+    for (const auto* states : {&partition->deriving, &partition->processing}) {
+      w.U32(static_cast<uint32_t>(states->size()));
+      for (const QueryState& query : *states) {
+        SaveTransition(&w, query.transition);
+        w.U32(static_cast<uint32_t>(query.guards.size()));
+        for (const QueryState::GuardInstance& guard : query.guards) {
+          SaveTransition(&w, guard.transition);
+          SaveChainOps(&w, guard.chain);
+        }
+        w.Bool(query.private_contexts != nullptr);
+        if (query.private_contexts != nullptr) {
+          query.private_contexts->Save(&w);
+        }
+        SaveChainOps(&w, query.chain);
+        w.Bool(!query.op_stats.empty());
+        for (const QueryState::OpCounters& op_stats : query.op_stats) {
+          w.U64(op_stats.invocations);
+          w.U64(op_stats.input_events);
+          w.U64(op_stats.output_events);
+          w.U64(op_stats.work_units);
+        }
+      }
+    }
+  }
+  return w.Take();
+}
+
+Status Engine::RestoreState(std::string_view payload) {
+  StateReader r(payload);
+  uint8_t version = r.U8();
+  if (r.ok() && version != kCheckpointVersion) {
+    return Status::DataLoss("unsupported checkpoint version " +
+                            std::to_string(version));
+  }
+  std::string snapshot = r.Str();
+  if (!r.ok()) return Status::DataLoss("checkpoint: truncated payload");
+  CAESAR_RETURN_IF_ERROR(RestoreIngestSnapshot(snapshot));
+  uint32_t n_partitions = r.U32();
+  for (uint32_t p = 0; r.ok() && p < n_partitions; ++p) {
+    uint64_t key = r.U64();
+    if (!r.ok()) break;
+    PartitionState* partition = GetOrCreatePartition(key);
+    CAESAR_RETURN_IF_ERROR(partition->contexts->Load(&r));
+    partition->ops_counter = r.U64();
+    partition->total_suspended = r.I64();
+    partition->total_executed = r.I64();
+    for (auto* states : {&partition->deriving, &partition->processing}) {
+      uint32_t n_queries = r.U32();
+      if (r.ok() && n_queries != states->size()) {
+        return Status::DataLoss(
+            "checkpoint query count does not match the plan");
+      }
+      for (QueryState& query : *states) {
+        LoadTransition(&r, &query.transition);
+        uint32_t n_guards = r.U32();
+        if (r.ok() && n_guards != query.guards.size()) {
+          return Status::DataLoss(
+              "checkpoint guard count does not match the plan");
+        }
+        for (QueryState::GuardInstance& guard : query.guards) {
+          LoadTransition(&r, &guard.transition);
+          CAESAR_RETURN_IF_ERROR(
+              LoadChainOps(&r, &guard.chain, "checkpoint guard operator"));
+        }
+        bool has_private = r.Bool();
+        if (r.ok() && has_private != (query.private_contexts != nullptr)) {
+          return Status::DataLoss(
+              "checkpoint guard mode does not match the plan");
+        }
+        if (query.private_contexts != nullptr) {
+          CAESAR_RETURN_IF_ERROR(query.private_contexts->Load(&r));
+        }
+        CAESAR_RETURN_IF_ERROR(
+            LoadChainOps(&r, &query.chain, "checkpoint operator"));
+        bool has_op_stats = r.Bool();
+        if (r.ok() && has_op_stats != !query.op_stats.empty()) {
+          return Status::DataLoss(
+              "checkpoint statistics mode does not match the engine's");
+        }
+        for (QueryState::OpCounters& op_stats : query.op_stats) {
+          op_stats.invocations = r.U64();
+          op_stats.input_events = r.U64();
+          op_stats.output_events = r.U64();
+          op_stats.work_units = r.U64();
+        }
+      }
+    }
+  }
+  return r.CheckFullyConsumed("checkpoint payload");
+}
+
+Status Engine::FinishRecovery(RecoveryScan scan) {
+  recovered_ = true;
+  recovery_diagnostics_.reserve(scan.diagnostics.size());
+  for (const Diagnostic& diag : scan.diagnostics) {
+    recovery_diagnostics_.push_back(FormatDiagnostic(diag));
+  }
+  if (scan.checkpoint_found) {
+    CAESAR_RETURN_IF_ERROR(RestoreState(scan.checkpoint.payload));
+  }
+  // Replay the committed WAL suffix through the normal scheduler path.
+  // Events re-enter in released (time) order, so every ingest policy admits
+  // them unchanged; GC, window transitions, and the deterministic telemetry
+  // replicate exactly. The commit snapshot then restores what replay cannot
+  // re-derive (quarantine contents, the virtual clock, lateness marks).
+  int64_t replayed = 0;
+  replaying_ = true;
+  for (const WalBatch& batch : scan.batches) {
+    EventBatch admitted;
+    for (const auto& [tick, events] : batch.ticks) {
+      admitted.insert(admitted.end(), events.begin(), events.end());
+    }
+    replayed += static_cast<int64_t>(admitted.size());
+    Result<RunStats> run = Run(admitted, nullptr);
+    if (!run.ok()) {
+      replaying_ = false;
+      return run.status();
+    }
+    Status snapshot = RestoreIngestSnapshot(batch.snapshot);
+    if (!snapshot.ok()) {
+      replaying_ = false;
+      return snapshot;
+    }
+  }
+  replaying_ = false;
+  Timestamp anchor = 0;
+  if (scan.checkpoint_found) {
+    anchor = scan.checkpoint.last_tick;
+  } else if (!scan.batches.empty() && !scan.batches.front().ticks.empty()) {
+    anchor = scan.batches.front().ticks.front().first;
+  }
+  CAESAR_ASSIGN_OR_RETURN(
+      durability_, DurabilityManager::OpenAfterRecovery(options_.durability,
+                                                        scan, anchor,
+                                                        replayed));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Engine>> Engine::Recover(ExecutablePlan plan,
+                                                EngineOptions options) {
+  CAESAR_RETURN_IF_ERROR(options.Validate());
+  if (options.durability.mode == DurabilityMode::kOff) {
+    return Status::InvalidArgument(
+        "Engine::Recover requires EngineOptions::durability.mode != off");
+  }
+  CAESAR_ASSIGN_OR_RETURN(RecoveryScan scan,
+                          ScanForRecovery(options.durability));
+  auto engine = std::make_unique<Engine>(std::move(plan), std::move(options));
+  CAESAR_RETURN_IF_ERROR(engine->FinishRecovery(std::move(scan)));
+  return engine;
+}
+
+Result<std::unique_ptr<Engine>> Engine::Recover(const CaesarModel& model,
+                                                const PlanOptions& plan_options,
+                                                EngineOptions options) {
+  // No analysis pass: the model already ran (and was analyzed, if asked)
+  // before the crash; recovery rebuilds the same plan and moves on.
+  CAESAR_RETURN_IF_ERROR(options.Validate());
+  CAESAR_ASSIGN_OR_RETURN(ExecutablePlan plan,
+                          TranslateModel(model, plan_options));
+  return Recover(std::move(plan), std::move(options));
+}
+
+uint64_t Engine::durable_batch_seq() const {
+  return durability_ != nullptr ? durability_->durable_batch_seq() : 0;
+}
+
+DurabilityCounters Engine::durability_counters() const {
+  return durability_ != nullptr ? durability_->counters()
+                                : DurabilityCounters{};
 }
 
 }  // namespace caesar

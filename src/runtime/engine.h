@@ -34,10 +34,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "durability/durability.h"
 #include "plan/plan.h"
 #include "runtime/context_vector.h"
 #include "runtime/executor.h"
@@ -48,6 +50,8 @@ namespace caesar {
 
 class CaesarModel;
 struct PlanOptions;
+class DurabilityManager;
+struct RecoveryScan;
 
 // What the model-based Engine::Create overload does with static-analysis
 // results (analysis/analyzer.h). Ignored by the plan-based overload, which
@@ -141,9 +145,18 @@ struct EngineOptions {
   // fallback as P305.
   PatternEngine pattern_engine = PatternEngine::kInterpreted;
 
+  // Durability (durability/durability.h): off by default; kWal logs every
+  // admitted tick to a write-ahead log so a crashed engine can be rebuilt
+  // with Engine::Recover; kWalCheckpoint additionally writes periodic full
+  // state checkpoints that bound replay time and let the log be truncated.
+  // The durability contract: a Run call that returned OK is durable — a
+  // recovered engine resumes exactly after it; a Run that failed or was
+  // interrupted is not, and its input must be re-submitted.
+  DurabilityOptions durability;
+
   // Checks option invariants (num_threads >= 1, reorder_slack >= 0, accel
   // and seconds_per_tick positive, gc_interval >= 1, gc_horizon >= 0,
-  // timeline_capacity >= 1).
+  // timeline_capacity >= 1, durability options consistent).
   // Returned (not aborted) so callers can surface configuration errors;
   // Engine::Create is the validating construction path.
   Status Validate() const;
@@ -192,6 +205,14 @@ struct RunStats {
   int64_t events_quarantined = 0;
   Timestamp max_observed_lateness = 0;
 
+  // Durability activity of this Run (all zero when durability is off):
+  // WAL records and bytes appended, fsync(2) calls issued, and checkpoints
+  // published.
+  int64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+  int64_t fsyncs = 0;
+  int64_t checkpoints_written = 0;
+
   std::string ToString() const;
 };
 
@@ -214,6 +235,22 @@ class Engine {
   // error/warning diagnostics are retained and surfaced through
   // CollectStatistics().
   static Result<std::unique_ptr<Engine>> Create(
+      const CaesarModel& model, const PlanOptions& plan_options,
+      EngineOptions options);
+
+  // Crash recovery: rebuilds an engine from the durability artifacts in
+  // options.durability.dir — loads the newest valid checkpoint, replays
+  // the committed WAL suffix through the normal scheduler path (outputs
+  // suppressed, GC replicated), and resumes logging where the log left
+  // off. Requires options.durability.mode != kOff; the plan/model and
+  // options must match the crashed engine's. Input batches after the last
+  // durable Run are not in the log — the caller re-submits them, resuming
+  // at durable_batch_seq(). Corrupt or torn artifacts degrade gracefully:
+  // the scan truncates/skips them and reports I41x diagnostics through
+  // recovery_diagnostics() and CollectStatistics().
+  static Result<std::unique_ptr<Engine>> Recover(ExecutablePlan plan,
+                                                 EngineOptions options);
+  static Result<std::unique_ptr<Engine>> Recover(
       const CaesarModel& model, const PlanOptions& plan_options,
       EngineOptions options);
 
@@ -269,6 +306,23 @@ class Engine {
   // The metrics registry; null unless EngineOptions::metrics >= kEngine.
   const MetricsRegistry* metrics_registry() const { return registry_.get(); }
 
+  // True on an engine built by Recover.
+  bool recovered() const { return recovered_; }
+
+  // Sequence number of the last durable (committed) Run batch. One Run =
+  // one batch, so a client feeding fixed batches can resume its input at
+  // this offset after Recover. 0 when durability is off or nothing has
+  // committed yet.
+  uint64_t durable_batch_seq() const;
+
+  // Cumulative durability counters (all zero when durability is off).
+  DurabilityCounters durability_counters() const;
+
+  // Formatted I41x diagnostics from recovery (empty otherwise).
+  const std::vector<std::string>& recovery_diagnostics() const {
+    return recovery_diagnostics_;
+  }
+
  private:
   struct PartitionState;
   struct QueryState;
@@ -303,6 +357,20 @@ class Engine {
   // Window-transition bookkeeping before a query executes.
   void HandleWindowTransitions(PartitionState* partition, QueryState* query,
                                Timestamp t);
+
+  // --- Durability serialization (scheduler thread only) ---
+  // The per-batch commit snapshot: ingest-layer scalars, the quarantine
+  // sink, and the virtual clock — everything replay cannot re-derive from
+  // the admitted events alone.
+  std::string SerializeIngestSnapshot() const;
+  Status RestoreIngestSnapshot(std::string_view snapshot);
+  // The full checkpoint payload: the commit snapshot plus every
+  // partition's context vector, transition bookkeeping, and operator state.
+  std::string SerializeState() const;
+  Status RestoreState(std::string_view payload);
+  // Applies a recovery scan to this freshly constructed engine: restore
+  // the checkpoint, replay committed batches, open the log for appending.
+  Status FinishRecovery(RecoveryScan scan);
 
   ExecutablePlan plan_;
   EngineOptions options_;
@@ -339,6 +407,17 @@ class Engine {
   // Virtual clock state (persists across Run calls).
   double vclock_completion_ = 0.0;
   Timestamp last_gc_ = 0;
+
+  // Durability (scheduler thread only). The manager is opened lazily by
+  // the first Run (so I/O failures surface as a Status, not an abort) or
+  // installed by Recover; null when the mode is kOff.
+  std::unique_ptr<DurabilityManager> durability_;
+  bool replaying_ = false;  // WAL replay re-enters Run; nothing re-logged
+  bool recovered_ = false;
+  std::vector<std::string> recovery_diagnostics_;
+  // Last tick handed to the scheduler loop (checkpoint cadence + header).
+  Timestamp last_processed_tick_ = 0;
+  bool any_tick_processed_ = false;
 
   // Observability (all null/empty when metrics == kOff and !tracing).
   // Registry instruments are registered once in the constructor; the raw

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "durability/serde.h"
+
 namespace caesar {
 
 const char* IngestPolicyName(IngestPolicy policy) {
@@ -58,6 +60,51 @@ void QuarantineSink::Add(EventPtr event, QuarantineReason reason,
   }
 }
 
+void QuarantineSink::Save(StateWriter* w) const {
+  w->I64(total_);
+  w->U32(kNumQuarantineReasons);
+  for (int64_t c : counts_) w->I64(c);
+  w->U32(static_cast<uint32_t>(entries_.size()));
+  for (const QuarantineEntry& e : entries_) {
+    WriteEvent(w, *e.event);
+    w->U8(static_cast<uint8_t>(e.reason));
+    w->U64(e.partition_key);
+  }
+  w->U32(static_cast<uint32_t>(by_partition_.size()));
+  for (const auto& [key, count] : by_partition_) {
+    w->U64(key);
+    w->I64(count);
+  }
+}
+
+Status QuarantineSink::Load(StateReader* r) {
+  total_ = r->I64();
+  if (r->U32() != kNumQuarantineReasons || !r->ok()) {
+    return Status::DataLoss("quarantine reason set does not match");
+  }
+  for (int64_t& c : counts_) c = r->I64();
+  uint32_t n_entries = r->U32();
+  entries_.clear();
+  for (uint32_t i = 0; r->ok() && i < n_entries; ++i) {
+    EventPtr event = ReadEvent(r);
+    uint8_t reason = r->U8();
+    uint64_t key = r->U64();
+    if (!r->ok() || event == nullptr || reason >= kNumQuarantineReasons) {
+      return Status::DataLoss("malformed quarantine entry");
+    }
+    entries_.push_back(
+        {std::move(event), static_cast<QuarantineReason>(reason), key});
+  }
+  uint32_t n_partitions = r->U32();
+  by_partition_.clear();
+  for (uint32_t i = 0; r->ok() && i < n_partitions; ++i) {
+    uint64_t key = r->U64();
+    by_partition_[key] = r->I64();
+  }
+  return r->ok() ? Status::Ok()
+                 : Status::DataLoss("truncated quarantine state");
+}
+
 bool ReorderBuffer::Push(EventPtr event, EventBatch* released) {
   Timestamp t = event->time();
   // kNoWatermark before the first admission: nothing is late yet.
@@ -77,6 +124,26 @@ bool ReorderBuffer::Push(EventPtr event, EventBatch* released) {
 
 void ReorderBuffer::Flush(EventBatch* released) {
   while (!heap_.empty()) PopInto(released);
+}
+
+void ReorderBuffer::Save(StateWriter* w) const {
+  // The engine checkpoints between Run calls, after Flush: only the
+  // watermark scalars carry state then.
+  w->Bool(any_seen_);
+  w->I64(max_seen_);
+  w->I64(last_released_);
+  w->Bool(any_released_);
+  w->U64(next_seq_);
+}
+
+Status ReorderBuffer::Load(StateReader* r) {
+  any_seen_ = r->Bool();
+  max_seen_ = r->I64();
+  last_released_ = r->I64();
+  any_released_ = r->Bool();
+  next_seq_ = r->U64();
+  return r->ok() ? Status::Ok()
+                 : Status::DataLoss("truncated reorder buffer state");
 }
 
 void ReorderBuffer::PopInto(EventBatch* released) {

@@ -40,9 +40,13 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "common/status.h"
 #include "event/event.h"
 
 namespace caesar {
+
+class StateWriter;
+class StateReader;
 
 // How Engine::Run treats disorder and malformed events in its input.
 enum class IngestPolicy : int8_t {
@@ -111,6 +115,11 @@ class QuarantineSink {
     return by_partition_;
   }
 
+  // Checkpoint serialization (durability/serde.h); capacity is
+  // configuration and not persisted.
+  void Save(StateWriter* w) const;
+  Status Load(StateReader* r);
+
  private:
   size_t capacity_;
   int64_t total_ = 0;
@@ -154,6 +163,12 @@ class ReorderBuffer {
   Timestamp slack() const { return slack_; }
 
   size_t buffered() const { return heap_.size(); }
+
+  // Checkpoint serialization (durability/serde.h). Only meaningful between
+  // Run calls, when the heap is drained; the watermark scalars are what
+  // must survive so a recovered engine rejects the same late events.
+  void Save(StateWriter* w) const;
+  Status Load(StateReader* r);
 
  private:
   struct Pending {

@@ -519,6 +519,30 @@ std::string StatisticsToJson(const StatisticsReport& report,
   json.EndArray();
   json.EndObject();
 
+  // Emitted only when durability is configured, so durability-off exports
+  // stay byte-identical to what they were before durability existed.
+  if (report.durability_mode != DurabilityMode::kOff) {
+    json.Key("durability");
+    json.BeginObject();
+    json.Field("mode", DurabilityModeName(report.durability_mode));
+    json.Field("wal_records", report.durability.wal_records);
+    json.Field("wal_bytes", report.durability.wal_bytes);
+    json.Field("fsyncs", report.durability.fsyncs);
+    json.Field("checkpoints_written", report.durability.checkpoints_written);
+    json.Field("recovered", report.recovered ? "true" : "false");
+    json.Field("recovery_replayed_events",
+               report.durability.recovery_replayed_events);
+    json.Field("torn_tail_truncations",
+               report.durability.torn_tail_truncations);
+    json.Key("recovery_diagnostics");
+    json.BeginArray();
+    for (const std::string& diag : report.recovery_diagnostics) {
+      json.Value(diag);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+
   if (report.granularity >= MetricsGranularity::kEngine) {
     json.Key("ticks");
     json.BeginObject();
@@ -677,6 +701,27 @@ std::string StatisticsToPrometheus(const StatisticsReport& report,
     os << "caesar_quarantine_total{reason=\""
        << QuarantineReasonName(static_cast<QuarantineReason>(r)) << "\"} "
        << report.quarantine_by_reason[r] << "\n";
+  }
+
+  // Emitted only when durability is configured (see the JSON exporter).
+  if (report.durability_mode != DurabilityMode::kOff) {
+    os << "# TYPE caesar_wal_records_total counter\n";
+    os << "caesar_wal_records_total " << report.durability.wal_records << "\n";
+    os << "# TYPE caesar_wal_bytes_total counter\n";
+    os << "caesar_wal_bytes_total " << report.durability.wal_bytes << "\n";
+    os << "# TYPE caesar_wal_fsyncs_total counter\n";
+    os << "caesar_wal_fsyncs_total " << report.durability.fsyncs << "\n";
+    os << "# TYPE caesar_checkpoints_total counter\n";
+    os << "caesar_checkpoints_total " << report.durability.checkpoints_written
+       << "\n";
+    os << "# TYPE caesar_recovered gauge\n";
+    os << "caesar_recovered " << (report.recovered ? 1 : 0) << "\n";
+    os << "# TYPE caesar_recovery_replayed_events_total counter\n";
+    os << "caesar_recovery_replayed_events_total "
+       << report.durability.recovery_replayed_events << "\n";
+    os << "# TYPE caesar_wal_torn_tail_truncations_total counter\n";
+    os << "caesar_wal_torn_tail_truncations_total "
+       << report.durability.torn_tail_truncations << "\n";
   }
 
   if (report.granularity >= MetricsGranularity::kEngine) {

@@ -52,6 +52,22 @@ std::string StatisticsReport::ToString() const {
       os << " partitions=" << quarantine_by_partition.size() << "\n";
     }
   }
+  if (durability_mode != DurabilityMode::kOff) {
+    os << "durability: mode=" << DurabilityModeName(durability_mode)
+       << " wal_records=" << durability.wal_records
+       << " wal_bytes=" << durability.wal_bytes
+       << " fsyncs=" << durability.fsyncs
+       << " checkpoints=" << durability.checkpoints_written;
+    if (recovered) {
+      os << " recovered=1 replayed_events="
+         << durability.recovery_replayed_events
+         << " torn_tail_truncations=" << durability.torn_tail_truncations;
+    }
+    os << "\n";
+    for (const std::string& diag : recovery_diagnostics) {
+      os << "  " << diag << "\n";
+    }
+  }
   if (granularity >= MetricsGranularity::kEngine) {
     os << "ticks: n=" << ticks.ticks << " gc_runs=" << ticks.gc_runs;
     if (ticks.gc_runs > 0) os << " gc_horizon_min=" << ticks.gc_horizon_min;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "algebra/operator.h"
+#include "durability/durability.h"
 #include "runtime/executor.h"
 #include "runtime/ingest.h"
 #include "runtime/observability.h"
@@ -111,6 +112,18 @@ struct StatisticsReport {
   // (admitted + quarantined); 0 when nothing was offered.
   double quarantine_rate() const;
   double reorder_rate() const;
+
+  // Durability snapshot: the configured mode, the cumulative WAL/checkpoint
+  // counters, and — on an engine built by Engine::Recover — the recovery
+  // provenance. ToString and the JSON/Prometheus exporters emit the block
+  // only when the mode != off, so durability-off reports stay byte-for-byte
+  // what they were before durability existed.
+  DurabilityMode durability_mode = DurabilityMode::kOff;
+  DurabilityCounters durability;
+  bool recovered = false;
+  // Formatted I41x recovery diagnostics (torn WAL tail, corrupt artifacts);
+  // a lossy restart is reported here, never silent.
+  std::vector<std::string> recovery_diagnostics;
 
   // Scheduler telemetry (MetricsGranularity >= kEngine).
   TickMetrics ticks;

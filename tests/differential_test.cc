@@ -62,6 +62,25 @@ TEST(QuickFuzzTest, FreshSeedsAreClean) {
       << FormatRepro(result.value().repro);
 }
 
+// Crash-recovery legs over generated cases: seeds rotate the crash point
+// through the whole durability protocol (seed % 4 picks append / commit /
+// checkpoint write / checkpoint publish), and each iteration checks both
+// pattern engines for byte-identical remaining output after recovery.
+TEST(QuickFuzzTest, CrashRecoveryLegsAreClean) {
+  FuzzOptions options;
+  options.seed = 401;
+  options.iters = 8;
+  options.full_matrix = false;
+  options.crash_recovery = true;
+  auto result = RunFuzz(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().iterations_run, 8);
+  EXPECT_FALSE(result.value().diverged)
+      << result.value().report.leg << "\n"
+      << result.value().report.detail << "\n"
+      << FormatRepro(result.value().repro);
+}
+
 // If the oracle is wrong, the harness must (a) notice quickly and
 // (b) shrink the failure to a handful of events that still reproduces.
 TEST(InjectedBugTest, SkipNegationIsCaughtAndShrunkSmall) {

@@ -15,11 +15,16 @@
 #define CAESAR_TESTS_FAULT_INJECTION_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <map>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "durability/durability.h"
 #include "event/event.h"
 
 namespace caesar {
@@ -157,6 +162,109 @@ class FaultInjector {
 
   Rng rng_;
 };
+
+// Crash-point injector for the durability write path: arms a CrashHook that
+// fires at the nth occurrence of a named protocol point ("wal_append",
+// "wal_commit", "checkpoint_write", "checkpoint_publish"). The durability
+// layer then leaves deliberately partial on-disk state and fails the Run
+// with DataLoss — an in-process SIGKILL the harness can aim at any byte of
+// the protocol. Count occurrences first (armed = false) to pick a target.
+class CrashPointInjector {
+ public:
+  // Fire at the `nth` (0-based) occurrence of `point`; never when nth < 0.
+  CrashPointInjector(std::string point, int64_t nth)
+      : point_(std::move(point)), nth_(nth) {}
+
+  CrashHook Hook() {
+    return [this](std::string_view point) {
+      if (point != point_) return false;
+      return occurrences_++ == nth_;
+    };
+  }
+
+  // Occurrences of the target point observed so far (including the fatal
+  // one); with nth < 0 this counts a full run without crashing.
+  int64_t occurrences() const { return occurrences_; }
+  bool fired() const { return nth_ >= 0 && occurrences_ > nth_; }
+
+ private:
+  std::string point_;
+  int64_t nth_;
+  int64_t occurrences_ = 0;
+};
+
+// --- On-disk file faults (bit rot, torn writes, misbehaving storage) ------
+// All return false if the file could not be read/rewritten or is too small
+// for the requested fault.
+
+// Truncates the last `bytes` bytes (a torn tail: the tail record's frame or
+// payload is cut mid-write).
+inline bool TruncateFileTail(const std::string& path, uint64_t bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  if (data.size() < bytes) return false;
+  data.resize(data.size() - bytes);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+// XORs one byte at `offset` (offset < 0 counts from the end): checksum-
+// detectable single-byte rot.
+inline bool FlipByte(const std::string& path, int64_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return false;
+  file.seekg(0, std::ios::end);
+  int64_t size = static_cast<int64_t>(file.tellg());
+  int64_t pos = offset >= 0 ? offset : size + offset;
+  if (pos < 0 || pos >= size) return false;
+  file.seekg(pos);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(pos);
+  file.write(&byte, 1);
+  return static_cast<bool>(file);
+}
+
+// Re-appends the last [len][crc][payload] frame of a WAL segment (a storage
+// layer replaying its own write queue after a reconnect). The duplicate is
+// internally valid, so recovery must reject it by sequence, not checksum.
+inline bool DuplicateTailRecord(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  // Segment header: u64 magic + u32 version + u64 seq.
+  constexpr size_t kHeader = 8 + 4 + 8;
+  size_t pos = kHeader;
+  size_t last_frame_begin = 0;
+  size_t last_frame_size = 0;
+  while (pos + 8 <= data.size()) {
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(data[pos + static_cast<size_t>(i)]))
+             << (8 * i);
+    }
+    size_t frame = 8 + static_cast<size_t>(len);
+    if (pos + frame > data.size()) break;  // torn tail: stop at last whole one
+    last_frame_begin = pos;
+    last_frame_size = frame;
+    pos += frame;
+  }
+  if (last_frame_size == 0) return false;
+  data.append(data, last_frame_begin, last_frame_size);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
 
 }  // namespace testing
 }  // namespace caesar

@@ -5,7 +5,9 @@
 // with and without statistics gathering. Runs under TSan in CI.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 
@@ -300,6 +302,66 @@ TEST(ParallelDeterminismTest, SplitRunsMatchSingleRun) {
 
   EXPECT_GT(whole_out.size(), 0u);
   EXPECT_EQ(render(whole_out), render(halves_out));
+}
+
+TEST(ParallelDeterminismTest, DurabilityKeepsExportsByteIdentical) {
+  // Durability runs on the scheduler thread, so the WAL/checkpoint record
+  // streams — and with them the durability counters in the deterministic
+  // exports — must not depend on the worker count: byte-identical derived
+  // output AND byte-identical deterministic JSON (durability block
+  // included) for 1/2/4/8 threads, each engine logging to its own
+  // directory.
+  SyntheticConfig config;
+  config.duration = 300;
+  config.num_partitions = 8;
+  config.events_per_tick = 2;
+  config.windows = LayOutWindows(/*count=*/3, /*length=*/60, /*overlap=*/20,
+                                 /*first_start=*/30);
+  config.assignment = SyntheticConfig::QueryAssignment::kPerWindowCopies;
+  config.queries_per_window = 2;
+  TypeRegistry registry;
+  EventBatch stream = GenerateSyntheticStream(config, &registry);
+  auto model = MakeSyntheticModel(config, &registry);
+  CAESAR_CHECK_OK(model.status());
+  ExecutablePlan plan = Optimize(model.value());
+
+  auto run_with = [&](int num_threads, std::string* json) {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("caesar_determinism_durability_" + std::to_string(::getpid()) +
+         "_t" + std::to_string(num_threads));
+    std::filesystem::remove_all(dir);
+    EngineOptions options;
+    options.num_threads = num_threads;
+    options.gather_statistics = true;
+    options.durability.mode = DurabilityMode::kWalCheckpoint;
+    options.durability.dir = dir.string();
+    options.durability.checkpoint_interval_ticks = 64;
+    Engine engine(plan.Clone(), options);
+    EventBatch outputs;
+    RunStats stats = engine.Run(stream, &outputs).value();
+    EXPECT_GT(stats.wal_records, 0) << num_threads;
+    EXPECT_GT(stats.checkpoints_written, 0) << num_threads;
+    ExportOptions export_options;
+    export_options.deterministic = true;
+    *json = StatisticsToJson(engine.CollectStatistics(), export_options);
+    std::ostringstream os;
+    for (const EventPtr& event : outputs) {
+      os << event->time() << " " << event->ToString(registry) << "\n";
+    }
+    std::filesystem::remove_all(dir);
+    return os.str();
+  };
+
+  std::string serial_json;
+  const std::string serial = run_with(1, &serial_json);
+  EXPECT_NE(serial_json.find("\"durability\""), std::string::npos);
+  for (int num_threads : {2, 4, 8}) {
+    std::string json;
+    const std::string derived = run_with(num_threads, &json);
+    EXPECT_EQ(serial, derived) << num_threads << " threads";
+    EXPECT_EQ(serial_json, json) << num_threads << " threads";
+  }
 }
 
 }  // namespace

@@ -54,6 +54,29 @@ def check_histogram(hist, where):
     )
 
 
+def check_durability(block, where):
+    expect(isinstance(block, dict), f"{where}: durability must be an object")
+    for key in ("mode", "wal_records", "wal_bytes", "fsyncs",
+                "checkpoints_written", "recovered",
+                "recovery_replayed_events", "torn_tail_truncations",
+                "recovery_diagnostics"):
+        expect(key in block, f"{where}: durability missing '{key}'")
+    expect(block["mode"] in ("wal", "wal+checkpoint"),
+           f"{where}: unknown durability mode {block['mode']!r} "
+           "(mode 'off' must omit the block entirely)")
+    expect(block["recovered"] in ("true", "false"),
+           f"{where}: recovered must be 'true'/'false'")
+    for key in ("wal_records", "wal_bytes", "fsyncs", "checkpoints_written",
+                "recovery_replayed_events", "torn_tail_truncations"):
+        expect(isinstance(block[key], int) and block[key] >= 0,
+               f"{where}: durability.{key} must be a non-negative integer")
+    expect(isinstance(block["recovery_diagnostics"], list),
+           f"{where}: recovery_diagnostics must be a list")
+    if block["recovered"] == "false":
+        expect(block["recovery_replayed_events"] == 0,
+               f"{where}: non-recovered run cannot have replayed events")
+
+
 def check_report(report, where):
     expect(isinstance(report, dict), f"{where}: report must be an object")
     for key in ("schema_version", "granularity", "deterministic", "ingest",
@@ -72,6 +95,9 @@ def check_report(report, where):
     for key in ("admitted", "reordered", "dropped_late", "quarantined",
                 "quarantine_rate", "reorder_rate"):
         expect(key in ingest, f"{where}: ingest missing '{key}'")
+
+    if "durability" in report:
+        check_durability(report["durability"], where)
 
     expect(isinstance(report["operators"], list),
            f"{where}: operators must be a list")
@@ -170,6 +196,13 @@ def check_baseline(doc):
     expect("bench_pattern_compile" in doc["benches"]
            and "ablation" in doc["benches"]["bench_pattern_compile"],
            "baseline must carry the bench_pattern_compile ablation")
+    expect("bench_durability" in doc["benches"],
+           "baseline must carry bench_durability (WAL overhead vs off)")
+    durability_runs = doc["benches"]["bench_durability"]["envelope"]["runs"]
+    expect(any("durability" in run["report"] for run in durability_runs),
+           "bench_durability baseline has no run with a durability block")
+    expect(any("durability" not in run["report"] for run in durability_runs),
+           "bench_durability baseline has no durability-off control run")
     return runs
 
 

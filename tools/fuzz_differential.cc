@@ -30,6 +30,7 @@ int Usage(const char* argv0) {
       "usage: %s [--seed N] [--iters M] [--budget-seconds S]\n"
       "          [--matrix full|quick] [--engines all|interpreted|compiled]\n"
       "          [--inject-bug NAME] [--inject-model-bug NAME] [--no-lint]\n"
+      "          [--crash-recovery]\n"
       "          [--write-repro DIR] [--force-negation]\n"
       "          [--replay FILE] [--describe]\n",
       argv0);
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   bool dump = false;
   bool force_negation = false;
   bool lint = true;
+  bool crash_recovery = false;
   std::string bug;
   std::string model_bug;
   std::string replay_path;
@@ -93,6 +95,8 @@ int main(int argc, char** argv) {
       model_bug = next();
     } else if (arg == "--no-lint") {
       lint = false;
+    } else if (arg == "--crash-recovery") {
+      crash_recovery = true;
     } else if (arg == "--write-repro") {
       write_repro_dir = next();
     } else if (arg == "--replay") {
@@ -191,6 +195,7 @@ int main(int argc, char** argv) {
   options.generator = generator;
   options.lint = lint;
   options.model_mutation = model_bug;
+  options.crash_recovery = crash_recovery;
 
   auto result = caesar::RunFuzz(options);
   if (!result.ok()) {

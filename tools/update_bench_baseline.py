@@ -66,6 +66,15 @@ def main():
         }
         with open(ablation, "r", encoding="utf-8") as handle:
             benches["bench_pattern_compile"]["ablation"] = json.load(handle)
+        metrics = tmp / "durability.json"
+        benches["bench_durability"] = {
+            "envelope": run_bench(
+                bench_dir / "bench_durability",
+                ["--segments=6", "--duration=300",
+                 f"--metrics-out={metrics}"],
+                metrics,
+            ),
+        }
 
     doc = {
         "baseline_version": 1,
