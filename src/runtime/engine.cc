@@ -85,7 +85,7 @@ std::string RunStats::ToString() const {
      << suspended_chains + executed_chains << " txns=" << transactions;
   if (parallel_ticks > 0) {
     os << " pool_ticks=" << parallel_ticks << " pool_tasks=" << parallel_tasks
-       << " imbalance=" << shard_imbalance
+       << " imbalance=" << shard_imbalance << " stolen=" << tasks_stolen
        << " barrier_wait=" << barrier_wait_seconds << "s";
   }
   if (events_reordered > 0 || events_quarantined > 0 ||
@@ -216,10 +216,6 @@ struct Engine::QueryState {
 
 struct Engine::PartitionState {
   uint64_t key = 0;
-  // Metrics shard of the worker owning this partition (key % workers;
-  // 0 in serial mode). Fixed at creation — the pool's shard assignment
-  // never changes over the engine's lifetime.
-  int shard = 0;
   std::unique_ptr<ContextBitVector> contexts;
   std::vector<QueryState> deriving;
   std::vector<QueryState> processing;
@@ -321,7 +317,8 @@ Engine::Engine(ExecutablePlan plan, EngineOptions options)
     }
   }
   if (options_.num_threads > 1) {
-    executor_ = std::make_unique<ShardedExecutor>(options_.num_threads);
+    executor_ = std::make_unique<ShardedExecutor>(options_.num_threads,
+                                                  options_.scheduler);
   }
   if (options_.metrics >= MetricsGranularity::kEngine) {
     // One shard per worker; serial mode records into shard 0.
@@ -375,11 +372,6 @@ Engine::PartitionState* Engine::GetOrCreatePartition(uint64_t key) {
 
   auto partition = std::make_unique<PartitionState>();
   partition->key = key;
-  partition->shard =
-      executor_ != nullptr
-          ? static_cast<int>(key %
-                             static_cast<uint64_t>(executor_->num_workers()))
-          : 0;
   partition->contexts = std::make_unique<ContextBitVector>(
       std::max(plan_.num_contexts, 1), std::max(plan_.default_context, 0));
   size_t stats_row = 0;
@@ -630,9 +622,15 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
     std::vector<std::pair<PartitionState*, const EventBatch*>> work;
     work.reserve(by_partition.size());
     shard_scratch_.clear();
+    weight_scratch_.clear();
     for (auto& [key, events] : by_partition) {
       work.emplace_back(GetOrCreatePartition(key), &events);
       shard_scratch_.push_back(key);
+      // Task weight = the transaction's event count, so the pool's
+      // imbalance metrics see work skew, not just task-count skew (one
+      // partition is one task — a hot partition would be invisible
+      // otherwise).
+      weight_scratch_.push_back(static_cast<uint64_t>(events.size()));
     }
     // Pre-dispatch telemetry baselines: context-vector versions (their
     // per-tick delta = context switches) and cumulative chain counts.
@@ -652,19 +650,23 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
       if (executor_ == nullptr) {
         for (size_t w = 0; w < work.size(); ++w) {
           CAESAR_TRACE_SPAN("transaction");
-          ProcessTransaction(work[w].first, t, *work[w].second, &derived[w]);
+          ProcessTransaction(work[w].first, t, *work[w].second, &derived[w],
+                             /*worker=*/0);
         }
       } else {
-        // Every tick goes through the pool: a partition is always processed
-        // by the worker owning its shard (key % num_workers), so partition
-        // state is single-writer without locks.
+        // Every tick goes through the pool. Exactly one worker executes a
+        // partition's transaction per tick (pinned: always its list owner;
+        // stealing: whoever claims it), so partition state is
+        // single-writer without locks, and metrics record into the
+        // executing worker's shard to keep that single-writer rule.
         executor_->ExecuteTick(work.size(), shard_scratch_.data(),
-                               [&](size_t w) {
+                               weight_scratch_.data(),
+                               [&](size_t w, int worker) {
                                  TraceScope worker_trace(trace_.get());
                                  CAESAR_TRACE_SPAN("transaction");
                                  ProcessTransaction(work[w].first, t,
                                                     *work[w].second,
-                                                    &derived[w]);
+                                                    &derived[w], worker);
                                });
       }
     }
@@ -798,6 +800,7 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
         static_cast<int64_t>(exec.tasks - exec_before.tasks);
     stats.shard_imbalance =
         static_cast<int64_t>(exec.imbalance - exec_before.imbalance);
+    stats.tasks_stolen = static_cast<int64_t>(exec.steals - exec_before.steals);
     stats.barrier_wait_seconds =
         exec.barrier_wait.sum() - exec_before.barrier_wait.sum();
   }
@@ -819,7 +822,7 @@ Result<RunStats> Engine::Run(const EventBatch& raw_input,
 
 void Engine::ProcessTransaction(PartitionState* partition, Timestamp t,
                                 const EventBatch& events,
-                                EventBatch* derived) {
+                                EventBatch* derived, int worker) {
   ++partition->transactions;
   EventBatch& pool = partition->pool;
   pool.clear();
@@ -831,7 +834,7 @@ void Engine::ProcessTransaction(PartitionState* partition, Timestamp t,
   for (auto* states : {&partition->deriving, &partition->processing}) {
     for (QueryState& query : *states) {
       EventBatch out;
-      RunQuery(partition, &query, pool, t, &out);
+      RunQuery(partition, &query, pool, t, &out, worker);
       if (query.spec->output_type != kInvalidTypeId) {
         for (EventPtr& event : out) {
           pool.push_back(event);
@@ -841,21 +844,23 @@ void Engine::ProcessTransaction(PartitionState* partition, Timestamp t,
     }
   }
 
-  // Registry instruments: each partition records into the shard of the
-  // worker that owns it (serial mode records into shard 0), so counter
-  // slots are uncontended and histogram shards stay single-writer.
+  // Registry instruments: each transaction records into the shard of the
+  // worker that *executed* it (serial mode records into shard 0), so
+  // counter slots are uncontended and histogram shards stay single-writer
+  // even when stealing moves a partition between workers. Merged totals
+  // are commutative sums, so they don't depend on who executed what.
   if (registry_ != nullptr) {
-    int shard = partition->shard;
-    ctr_transactions_->Add(shard, 1);
-    ctr_input_events_->Add(shard, static_cast<int64_t>(events.size()));
-    ctr_derived_events_->Add(shard, static_cast<int64_t>(derived->size()));
-    hist_transaction_events_->Add(shard, events.size());
-    hist_transaction_derived_->Add(shard, derived->size());
+    ctr_transactions_->Add(worker, 1);
+    ctr_input_events_->Add(worker, static_cast<int64_t>(events.size()));
+    ctr_derived_events_->Add(worker, static_cast<int64_t>(derived->size()));
+    hist_transaction_events_->Add(worker, events.size());
+    hist_transaction_derived_->Add(worker, derived->size());
   }
 }
 
 void Engine::RunQuery(PartitionState* partition, QueryState* query,
-                      const EventBatch& pool, Timestamp t, EventBatch* out) {
+                      const EventBatch& pool, Timestamp t, EventBatch* out,
+                      int worker) {
   OpExecContext ctx;
   ctx.registry = plan_.registry;
   ctx.now = t;
@@ -891,7 +896,7 @@ void Engine::RunQuery(PartitionState* partition, QueryState* query,
   // Main chain; an empty intermediate batch skips the rest of the chain —
   // with the context window pushed down this is the suspension of the whole
   // query during foreign contexts.
-  // Per-invocation distributions go into the owning worker's shard rows
+  // Per-invocation distributions go into the executing worker's shard rows
   // (hoisted pointer: one base computation per chain, not per op). Work
   // units are the deterministic execution-time measure of the cost model —
   // wall clock is tick-level telemetry. The slim counter rows are the
@@ -899,7 +904,7 @@ void Engine::RunQuery(PartitionState* partition, QueryState* query,
   OperatorHistograms* hist_rows =
       op_histograms_.empty()
           ? nullptr
-          : op_histograms_[partition->shard].data() + query->stats_row_base;
+          : op_histograms_[worker].data() + query->stats_row_base;
   EventBatch ping, pong;
   const EventBatch* current = &pool;
   bool suspended_at_bottom = false;

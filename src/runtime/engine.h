@@ -85,6 +85,17 @@ struct EngineOptions {
   // byte-identical event sequences (see runtime/executor.h).
   int num_threads = 1;
 
+  // Task scheduler of the worker pool (see SchedulerMode): kPinned
+  // statically assigns partitions to workers by key % num_threads;
+  // kStealing lets idle workers claim whole-partition tasks from loaded
+  // workers, which keeps skewed partition-key distributions from
+  // saturating one worker. Derived output and deterministic metric
+  // exports are byte-identical between the modes. Defaults to kPinned,
+  // overridable process-wide via the CAESAR_SCHEDULER environment
+  // variable (the CI stealing leg runs the whole suite that way).
+  // Ignored when num_threads == 1.
+  SchedulerMode scheduler = DefaultSchedulerMode();
+
   // Acceleration of the latency model: how many simulated seconds arrive
   // per wall second of processing budget. Higher = heavier load.
   double accel = 100.0;
@@ -187,11 +198,14 @@ struct RunStats {
 
   // Worker-pool metrics for this Run (all zero in serial mode): ticks and
   // partition transactions dispatched through the pool, summed per-tick
-  // worker imbalance (max - min tasks over workers), and scheduler time
-  // blocked on the per-tick barrier.
+  // executed-load imbalance (max - min *events* any worker processed —
+  // event-weighted so a hot partition registers even when task counts are
+  // even), tasks executed by a non-owner worker (stealing mode only), and
+  // scheduler time blocked on the per-tick barrier.
   int64_t parallel_ticks = 0;
   int64_t parallel_tasks = 0;
   int64_t shard_imbalance = 0;
+  int64_t tasks_stolen = 0;
   double barrier_wait_seconds = 0.0;
 
   // Degradation counters for this Run (all zero under kStrict, which
@@ -347,12 +361,17 @@ class Engine {
   void ResolvePartitionAttrs(TypeId type_id);
 
   // Executes one stream transaction (one partition, one time stamp).
+  // `worker` is the metrics shard to record into — the id of the executing
+  // worker (0 in serial mode), which keeps the non-atomic histogram shards
+  // single-writer under any scheduler mode.
   void ProcessTransaction(PartitionState* partition, Timestamp t,
-                          const EventBatch& events, EventBatch* derived);
+                          const EventBatch& events, EventBatch* derived,
+                          int worker);
 
   // Runs one query chain (with guards in CI mode) over the pool slice.
   void RunQuery(PartitionState* partition, QueryState* query,
-                const EventBatch& pool, Timestamp t, EventBatch* out);
+                const EventBatch& pool, Timestamp t, EventBatch* out,
+                int worker);
 
   // Window-transition bookkeeping before a query executes.
   void HandleWindowTransitions(PartitionState* partition, QueryState* query,
@@ -392,8 +411,10 @@ class Engine {
   // Persistent sharded worker pool (created in the constructor when
   // num_threads > 1, reused across ticks and Run calls).
   std::unique_ptr<ShardedExecutor> executor_;
-  // Scratch: the current tick's partition keys, in work order.
+  // Scratch: the current tick's partition keys and task weights (event
+  // counts), in work order. Members so the hot path reuses their capacity.
   std::vector<uint64_t> shard_scratch_;
+  std::vector<uint64_t> weight_scratch_;
 
   // Ingest state (scheduler thread only). The reorder buffer exists iff
   // the policy is kReorder; the drop high-water mark backs kDrop. Both
@@ -422,7 +443,7 @@ class Engine {
   // Observability (all null/empty when metrics == kOff and !tracing).
   // Registry instruments are registered once in the constructor; the raw
   // pointers below are the hot-path handles (stable for the engine's
-  // lifetime). Shard index = the worker owning the partition.
+  // lifetime). Shard index = the worker that executed the transaction.
   std::unique_ptr<MetricsRegistry> registry_;
   ShardedCounter* ctr_transactions_ = nullptr;
   ShardedCounter* ctr_input_events_ = nullptr;
@@ -431,11 +452,12 @@ class Engine {
   ShardedHistogram* hist_transaction_derived_ = nullptr;
   // Per-operator distributions at MetricsGranularity::kOperator, sharded
   // per worker: op_histograms_[shard] holds one entry per (query, op) row
-  // in plan order, written only by the worker owning the shard (the same
-  // ownership rule as the registry instruments above). Keeps the hot-path
+  // in plan order, written only by the worker whose id the shard index is
+  // (single-writer even under work stealing, because the executing worker
+  // — not the partition's owner — picks the shard). Keeps the hot-path
   // footprint per worker cache-resident instead of per partition, and the
   // index-wise merge in CollectStatistics is commutative, so the totals
-  // are thread-count-independent.
+  // depend on neither the thread count nor who executed what.
   struct OperatorHistograms {
     Pow2Histogram input_batch;
     Pow2Histogram output_batch;

@@ -1,14 +1,51 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace caesar {
 
-ShardedExecutor::ShardedExecutor(int num_workers)
-    : num_workers_(num_workers) {
+const char* SchedulerModeName(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kPinned:
+      return "pinned";
+    case SchedulerMode::kStealing:
+      return "stealing";
+  }
+  return "?";
+}
+
+bool ParseSchedulerMode(const std::string& name, SchedulerMode* out) {
+  if (name == "pinned") {
+    *out = SchedulerMode::kPinned;
+    return true;
+  }
+  if (name == "stealing") {
+    *out = SchedulerMode::kStealing;
+    return true;
+  }
+  return false;
+}
+
+SchedulerMode DefaultSchedulerMode() {
+  static const SchedulerMode mode = []() {
+    const char* env = std::getenv("CAESAR_SCHEDULER");
+    SchedulerMode parsed = SchedulerMode::kPinned;
+    if (env != nullptr && env[0] != '\0' &&
+        !ParseSchedulerMode(env, &parsed)) {
+      CAESAR_LOG_WARNING << "ignoring unknown CAESAR_SCHEDULER value '" << env
+                         << "' (want pinned|stealing)";
+    }
+    return parsed;
+  }();
+  return mode;
+}
+
+ShardedExecutor::ShardedExecutor(int num_workers, SchedulerMode mode)
+    : num_workers_(num_workers), mode_(mode), queues_(num_workers) {
   CAESAR_CHECK_GE(num_workers, 1);
   workers_.reserve(num_workers);
   for (int w = 0; w < num_workers; ++w) {
@@ -26,65 +63,135 @@ ShardedExecutor::~ShardedExecutor() {
 }
 
 void ShardedExecutor::ExecuteTick(size_t count, const uint64_t* shards,
-                                  const std::function<void(size_t)>& task) {
-  // Tally per-worker load before dispatch (the shards array is the
-  // scheduler's; workers only read it).
-  uint64_t min_load = 0;
-  uint64_t max_load = 0;
-  if (count > 0 && num_workers_ > 1) {
-    std::vector<uint64_t> load(num_workers_, 0);
-    for (size_t i = 0; i < count; ++i) {
-      ++load[shards[i] % static_cast<uint64_t>(num_workers_)];
+                                  const uint64_t* weights,
+                                  const TickTask& task) {
+  // Lay the tick out into per-worker task lists once, on the scheduler
+  // thread (workers are idle between epochs). The list buffers are members
+  // and keep their capacity, so the hot path allocates nothing per tick.
+  CAESAR_CHECK_LE(count, size_t{UINT32_MAX});
+  for (WorkerQueue& queue : queues_) {
+    queue.tasks.clear();
+    queue.executed = 0;
+    queue.stolen = 0;
+  }
+  const uint64_t workers = static_cast<uint64_t>(num_workers_);
+  for (size_t i = 0; i < count; ++i) {
+    queues_[shards[i] % workers].tasks.push_back(static_cast<uint32_t>(i));
+  }
+  if (mode_ == SchedulerMode::kStealing) {
+    if (count > claimed_capacity_) {
+      size_t capacity = std::max(count, claimed_capacity_ * 2);
+      claimed_ = std::make_unique<std::atomic<uint8_t>[]>(capacity);
+      claimed_capacity_ = capacity;
     }
-    min_load = *std::min_element(load.begin(), load.end());
-    max_load = *std::max_element(load.begin(), load.end());
+    // Relaxed stores: the epoch mutex below publishes them to the workers.
+    for (size_t i = 0; i < count; ++i) {
+      claimed_[i].store(0, std::memory_order_relaxed);
+    }
   }
 
   Stopwatch wait;
-  std::unique_lock<std::mutex> lock(mu_);
-  task_count_ = count;
-  task_shards_ = shards;
-  task_fn_ = &task;
-  pending_ = num_workers_;
-  ++epoch_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this]() { return pending_ == 0; });
-  task_fn_ = nullptr;
-  task_shards_ = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    task_count_ = count;
+    task_fn_ = &task;
+    task_weights_ = weights;
+    pending_ = num_workers_;
+    ++epoch_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this]() { return pending_ == 0; });
+    task_fn_ = nullptr;
+    task_weights_ = nullptr;
+  }
+
+  // Executed-load tally from the per-worker counters the barrier just
+  // ordered before us. Computed for every worker count — a 1-worker pool
+  // records the same metric structure (imbalance 0) as a wide one, so
+  // exports stay structurally identical across thread counts.
+  uint64_t min_load = queues_[0].executed;
+  uint64_t max_load = queues_[0].executed;
+  uint64_t stolen = 0;
+  for (const WorkerQueue& queue : queues_) {
+    min_load = std::min(min_load, queue.executed);
+    max_load = std::max(max_load, queue.executed);
+    stolen += queue.stolen;
+  }
 
   ++metrics_.ticks;
   metrics_.tasks += count;
   metrics_.tasks_per_tick.Add(count);
   metrics_.imbalance += max_load - min_load;
+  metrics_.imbalance_per_tick.Add(max_load - min_load);
+  metrics_.steals += stolen;
   metrics_.barrier_wait.Add(wait.ElapsedSeconds());
 }
 
 void ShardedExecutor::WorkerLoop(int worker_id) {
-  const uint64_t self = static_cast<uint64_t>(worker_id);
-  const uint64_t workers = static_cast<uint64_t>(num_workers_);
   uint64_t seen_epoch = 0;
   while (true) {
-    size_t count;
-    const uint64_t* shards;
-    const std::function<void(size_t)>* fn;
+    const TickTask* fn;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
                     [&]() { return shutdown_ || epoch_ != seen_epoch; });
       if (shutdown_) return;
       seen_epoch = epoch_;
-      count = task_count_;
-      shards = task_shards_;
       fn = task_fn_;
     }
-    // Run this worker's shard of the tick. The scheduler blocks until the
-    // barrier below, so `shards`/`fn` stay valid throughout.
-    for (size_t i = 0; i < count; ++i) {
-      if (shards[i] % workers == self) (*fn)(i);
+    // Run this worker's part of the tick. The scheduler blocks until the
+    // barrier below, so the queues, `fn` and the weights stay valid
+    // throughout.
+    WorkerQueue& own = queues_[worker_id];
+    if (mode_ == SchedulerMode::kPinned) {
+      uint64_t load = 0;
+      for (uint32_t i : own.tasks) {
+        (*fn)(i, worker_id);
+        load += task_weights_ == nullptr ? 1 : task_weights_[i];
+      }
+      own.executed = load;
+    } else {
+      RunStealingTick(worker_id, *fn);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardedExecutor::RunStealingTick(int self, const TickTask& task) {
+  WorkerQueue& own = queues_[self];
+  // Claim decides the unique executor of a task; the relaxed pre-check
+  // skips the RMW for tasks visibly taken already. No data travels through
+  // the flag itself — partition state is handed between ticks via the
+  // epoch mutex, and within a tick each task runs exactly once.
+  auto try_claim = [this](uint32_t i) {
+    return claimed_[i].load(std::memory_order_relaxed) == 0 &&
+           claimed_[i].exchange(1, std::memory_order_acq_rel) == 0;
+  };
+  auto weight = [this](uint32_t i) {
+    return task_weights_ == nullptr ? uint64_t{1} : task_weights_[i];
+  };
+  // Own list first, front to back (oldest assignment first)...
+  for (uint32_t i : own.tasks) {
+    if (try_claim(i)) {
+      task(i, self);
+      own.executed += weight(i);
+    }
+  }
+  // ...then steal from victims' tails, walking away from the end the owner
+  // is draining towards, so owner and thieves meet in the middle instead
+  // of fighting over the same task.
+  for (int hop = 1; hop < num_workers_; ++hop) {
+    int victim = (self + hop) % num_workers_;
+    const std::vector<uint32_t>& tasks = queues_[victim].tasks;
+    for (size_t k = tasks.size(); k-- > 0;) {
+      uint32_t i = tasks[k];
+      if (try_claim(i)) {
+        task(i, self);
+        own.executed += weight(i);
+        ++own.stolen;
+      }
     }
   }
 }

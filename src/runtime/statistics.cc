@@ -30,7 +30,10 @@ std::string StatisticsReport::ToString() const {
   if (executor_workers > 0) {
     os << "executor: workers=" << executor_workers
        << " ticks=" << executor.ticks << " tasks=" << executor.tasks
-       << " imbalance=" << executor.imbalance << " barrier_wait["
+       << " imbalance=" << executor.imbalance
+       << " imbalance_per_tick[mean=" << executor.imbalance_per_tick.mean()
+       << " max=" << executor.imbalance_per_tick.max()
+       << "] steals=" << executor.steals << " barrier_wait["
        << executor.barrier_wait.ToString() << "]\n";
   }
   if (ingest.reordered > 0 || ingest.quarantined > 0 ||

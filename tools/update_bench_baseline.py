@@ -54,6 +54,18 @@ def main():
                 metrics,
             ),
         }
+        # The scheduler A/B on the hot-partition workload: pinned vs
+        # stealing at every thread count (check_metrics_schema.py gates on
+        # derived equality, the pinned rows' imbalance and the stealing
+        # rows' steal counts; the wall-clock gate applies only when the
+        # recording machine is multi-core).
+        skew = tmp / "parallel_skew.json"
+        benches["bench_parallel_scaling"]["skew"] = run_bench(
+            bench_dir / "bench_parallel_scaling",
+            ["--workload=skewed", "--duration=200", "--repetitions=2",
+             f"--skew-out={skew}"],
+            skew,
+        )
         metrics = tmp / "compile.json"
         ablation = tmp / "ablation.json"
         benches["bench_pattern_compile"] = {
