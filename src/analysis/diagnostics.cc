@@ -55,6 +55,11 @@ const char* DiagCodeName(DiagCode code) {
     case DiagCode::kI411CheckpointCrcMismatch: return "I411";
     case DiagCode::kI412WalRecordCrcMismatch: return "I412";
     case DiagCode::kI413StaleWalRecord: return "I413";
+    case DiagCode::kI420Backpressure: return "I420";
+    case DiagCode::kI421UnknownTenant: return "I421";
+    case DiagCode::kI422DuplicateTenant: return "I422";
+    case DiagCode::kI423BadFrame: return "I423";
+    case DiagCode::kI424AdmissionRejected: return "I424";
   }
   return "????";
 }
@@ -102,6 +107,13 @@ const char* DiagCodeTitle(DiagCode code) {
       return "WAL record CRC mismatch, replay stopped";
     case DiagCode::kI413StaleWalRecord:
       return "stale WAL record skipped";
+    case DiagCode::kI420Backpressure:
+      return "ingest rejected: pending buffer full";
+    case DiagCode::kI421UnknownTenant: return "unknown tenant";
+    case DiagCode::kI422DuplicateTenant: return "tenant already registered";
+    case DiagCode::kI423BadFrame: return "malformed frame or request";
+    case DiagCode::kI424AdmissionRejected:
+      return "model rejected by the admission gate";
   }
   return "?";
 }

@@ -75,6 +75,13 @@ enum class DiagCode : int16_t {
   kI411CheckpointCrcMismatch,// checkpoint failed its checksum, skipped
   kI412WalRecordCrcMismatch, // mid-log record failed its checksum
   kI413StaleWalRecord,       // record at or below the recovery horizon
+  // Server admission (server/): the coded rejections caesard answers on
+  // the wire. Clients match on the code, never the message.
+  kI420Backpressure,         // tenant's pending buffer full; retry later
+  kI421UnknownTenant,        // request names a tenant that is not registered
+  kI422DuplicateTenant,      // register for a name that is already live
+  kI423BadFrame,             // unparseable frame/JSON/request shape
+  kI424AdmissionRejected,    // model failed parse or strict lint gate
 };
 
 // Stable printable code, e.g. "C001".

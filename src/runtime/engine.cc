@@ -78,6 +78,7 @@ bool ParsePatternEngine(const std::string& name, PatternEngine* out) {
 
 std::string RunStats::ToString() const {
   std::ostringstream os;
+  if (!tenant.empty()) os << "tenant=" << tenant << " ";
   os << "input=" << input_events << " derived=" << derived_events
      << " max_latency=" << max_latency << "s mean_latency=" << mean_latency
      << "s cpu=" << cpu_seconds << "s ops=" << ops_executed
@@ -316,13 +317,20 @@ Engine::Engine(ExecutablePlan plan, EngineOptions options)
       ResolvePartitionAttrs(id);
     }
   }
-  if (options_.num_threads > 1) {
-    executor_ = std::make_unique<ShardedExecutor>(options_.num_threads,
+  if (options_.shared_executor != nullptr) {
+    executor_ = options_.shared_executor;
+  } else if (options_.num_threads > 1) {
+    executor_ = std::make_shared<ShardedExecutor>(options_.num_threads,
                                                   options_.scheduler);
   }
+  // Metric shards are keyed by executing worker id, so the shard count
+  // follows the pool actually in use (a shared pool may be wider than
+  // num_threads); serial mode records into shard 0.
+  const int metric_shards =
+      executor_ != nullptr ? executor_->num_workers() : 1;
   if (options_.metrics >= MetricsGranularity::kEngine) {
     // One shard per worker; serial mode records into shard 0.
-    registry_ = std::make_unique<MetricsRegistry>(options_.num_threads);
+    registry_ = std::make_unique<MetricsRegistry>(metric_shards);
     ctr_transactions_ = registry_->AddCounter(
         "transactions", "Stream transactions (partition x time stamp)");
     ctr_input_events_ = registry_->AddCounter(
@@ -340,7 +348,7 @@ Engine::Engine(ExecutablePlan plan, EngineOptions options)
     for (const auto* queries : {&plan_.deriving, &plan_.processing}) {
       for (const CompiledQuery& query : *queries) rows += query.chain.ops.size();
     }
-    op_histograms_.assign(static_cast<size_t>(options_.num_threads),
+    op_histograms_.assign(static_cast<size_t>(metric_shards),
                           std::vector<OperatorHistograms>(rows));
   }
   if (options_.tracing) {
@@ -555,6 +563,7 @@ Status Engine::IngestBatch(const EventBatch& input, EventBatch* admitted,
 Result<RunStats> Engine::Run(const EventBatch& raw_input,
                              EventBatch* outputs) {
   RunStats stats;
+  stats.tenant = options_.tenant;
   stats.input_events = static_cast<int64_t>(raw_input.size());
   const IngestMetrics ingest_before = ingest_metrics_;
   // Lazy durability open: I/O failures surface here as a Status instead of
@@ -950,6 +959,7 @@ void Engine::RunQuery(PartitionState* partition, QueryState* query,
 
 StatisticsReport Engine::CollectStatistics() const {
   StatisticsReport report;
+  report.tenant = options_.tenant;
   report.granularity = options_.metrics;
   if (executor_ != nullptr) {
     report.executor_workers = executor_->num_workers();

@@ -96,6 +96,24 @@ struct EngineOptions {
   // Ignored when num_threads == 1.
   SchedulerMode scheduler = DefaultSchedulerMode();
 
+  // Externally owned worker pool shared between engines (the caesard
+  // server runs one Engine per tenant over one pool). When set it
+  // overrides num_threads/scheduler: this engine dispatches its ticks to
+  // the shared pool instead of creating its own. The pool must outlive
+  // the engine, and callers must never run two engines that share a pool
+  // concurrently — ExecuteTick is single-scheduler (the server's drain
+  // loop serializes tenants). Derived output stays byte-identical to an
+  // owned pool of the same width: determinism rests on the ordered merge,
+  // not on who owns the workers.
+  std::shared_ptr<ShardedExecutor> shared_executor;
+
+  // Stable tenant label stamped into RunStats and StatisticsReport (and
+  // from there into the JSON/Prometheus exports). Empty for library use —
+  // existing exports and goldens are byte-identical to before the label
+  // existed; the caesard server sets it to the tenant name so per-tenant
+  // scrapes can tell engines apart.
+  std::string tenant;
+
   // Acceleration of the latency model: how many simulated seconds arrive
   // per wall second of processing budget. Higher = heavier load.
   double accel = 100.0;
@@ -175,6 +193,10 @@ struct EngineOptions {
 
 // Aggregate results of one Run.
 struct RunStats {
+  // EngineOptions::tenant of the engine that produced this Run (empty for
+  // library use).
+  std::string tenant;
+
   int64_t input_events = 0;
   int64_t derived_events = 0;
   // Derived event counts by type name.
@@ -408,9 +430,10 @@ class Engine {
 
   std::map<uint64_t, std::unique_ptr<PartitionState>> partitions_;
 
-  // Persistent sharded worker pool (created in the constructor when
-  // num_threads > 1, reused across ticks and Run calls).
-  std::unique_ptr<ShardedExecutor> executor_;
+  // Persistent sharded worker pool: created in the constructor when
+  // num_threads > 1 and reused across ticks and Run calls, or borrowed
+  // from EngineOptions::shared_executor (one pool, many tenant engines).
+  std::shared_ptr<ShardedExecutor> executor_;
   // Scratch: the current tick's partition keys and task weights (event
   // counts), in work order. Members so the hot path reuses their capacity.
   std::vector<uint64_t> shard_scratch_;

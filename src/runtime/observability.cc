@@ -488,6 +488,9 @@ std::string StatisticsToJson(const StatisticsReport& report,
   JsonWriter json;
   json.BeginObject();
   json.Field("schema_version", int64_t{1});
+  // Only a named tenant emits the field: tenant-less reports must stay
+  // byte-identical to before the tenant dimension existed (goldens).
+  if (!report.tenant.empty()) json.Field("tenant", report.tenant);
   json.Field("granularity", MetricsGranularityName(report.granularity));
   json.Field("deterministic", options.deterministic ? "true" : "false");
   json.Field("observed_context_activity", report.observed_context_activity);
@@ -678,95 +681,122 @@ std::string StatisticsToJson(const StatisticsReport& report,
 std::string StatisticsToPrometheus(const StatisticsReport& report,
                                    const ExportOptions& options) {
   std::ostringstream os;
+  // Stable tenant dimension: a named tenant labels every series
+  // (tenant="..."); the empty library default emits exactly the
+  // pre-tenant byte stream.
+  const std::string tenant_label =
+      report.tenant.empty()
+          ? std::string()
+          : "tenant=\"" + PromEscape(report.tenant) + "\"";
+  // `bare(name)` renders an unlabeled series, `with(labels)` prepends the
+  // tenant to an existing label list.
+  auto bare = [&](const char* name) {
+    return tenant_label.empty() ? std::string(name)
+                                : std::string(name) + "{" + tenant_label + "}";
+  };
+  auto with = [&](const std::string& labels) {
+    return tenant_label.empty() ? labels : tenant_label + "," + labels;
+  };
+
   os << "# TYPE caesar_context_activity gauge\n";
-  os << "caesar_context_activity " << FmtDouble(report.observed_context_activity)
-     << "\n";
+  os << bare("caesar_context_activity") << " "
+     << FmtDouble(report.observed_context_activity) << "\n";
 
   os << "# TYPE caesar_ingest_events_total counter\n";
-  os << "caesar_ingest_events_total{state=\"admitted\"} "
+  os << "caesar_ingest_events_total{" << with("state=\"admitted\"") << "} "
      << report.ingest.admitted << "\n";
-  os << "caesar_ingest_events_total{state=\"reordered\"} "
+  os << "caesar_ingest_events_total{" << with("state=\"reordered\"") << "} "
      << report.ingest.reordered << "\n";
-  os << "caesar_ingest_events_total{state=\"dropped_late\"} "
-     << report.ingest.dropped_late << "\n";
-  os << "caesar_ingest_events_total{state=\"quarantined\"} "
-     << report.ingest.quarantined << "\n";
+  os << "caesar_ingest_events_total{" << with("state=\"dropped_late\"")
+     << "} " << report.ingest.dropped_late << "\n";
+  os << "caesar_ingest_events_total{" << with("state=\"quarantined\"")
+     << "} " << report.ingest.quarantined << "\n";
   os << "# TYPE caesar_ingest_max_lateness_ticks gauge\n";
-  os << "caesar_ingest_max_lateness_ticks "
+  os << bare("caesar_ingest_max_lateness_ticks") << " "
      << report.ingest.max_observed_lateness << "\n";
   os << "# TYPE caesar_quarantine_rate gauge\n";
-  os << "caesar_quarantine_rate " << FmtDouble(report.quarantine_rate())
-     << "\n";
+  os << bare("caesar_quarantine_rate") << " "
+     << FmtDouble(report.quarantine_rate()) << "\n";
   os << "# TYPE caesar_reorder_rate gauge\n";
-  os << "caesar_reorder_rate " << FmtDouble(report.reorder_rate()) << "\n";
+  os << bare("caesar_reorder_rate") << " " << FmtDouble(report.reorder_rate())
+     << "\n";
   os << "# TYPE caesar_quarantine_total counter\n";
   for (int r = 0; r < kNumQuarantineReasons; ++r) {
-    os << "caesar_quarantine_total{reason=\""
-       << QuarantineReasonName(static_cast<QuarantineReason>(r)) << "\"} "
-       << report.quarantine_by_reason[r] << "\n";
+    os << "caesar_quarantine_total{"
+       << with("reason=\"" +
+               std::string(QuarantineReasonName(
+                   static_cast<QuarantineReason>(r))) +
+               "\"")
+       << "} " << report.quarantine_by_reason[r] << "\n";
   }
 
   // Emitted only when durability is configured (see the JSON exporter).
   if (report.durability_mode != DurabilityMode::kOff) {
     os << "# TYPE caesar_wal_records_total counter\n";
-    os << "caesar_wal_records_total " << report.durability.wal_records << "\n";
+    os << bare("caesar_wal_records_total") << " "
+       << report.durability.wal_records << "\n";
     os << "# TYPE caesar_wal_bytes_total counter\n";
-    os << "caesar_wal_bytes_total " << report.durability.wal_bytes << "\n";
-    os << "# TYPE caesar_wal_fsyncs_total counter\n";
-    os << "caesar_wal_fsyncs_total " << report.durability.fsyncs << "\n";
-    os << "# TYPE caesar_checkpoints_total counter\n";
-    os << "caesar_checkpoints_total " << report.durability.checkpoints_written
+    os << bare("caesar_wal_bytes_total") << " " << report.durability.wal_bytes
        << "\n";
+    os << "# TYPE caesar_wal_fsyncs_total counter\n";
+    os << bare("caesar_wal_fsyncs_total") << " " << report.durability.fsyncs
+       << "\n";
+    os << "# TYPE caesar_checkpoints_total counter\n";
+    os << bare("caesar_checkpoints_total") << " "
+       << report.durability.checkpoints_written << "\n";
     os << "# TYPE caesar_recovered gauge\n";
-    os << "caesar_recovered " << (report.recovered ? 1 : 0) << "\n";
+    os << bare("caesar_recovered") << " " << (report.recovered ? 1 : 0)
+       << "\n";
     os << "# TYPE caesar_recovery_replayed_events_total counter\n";
-    os << "caesar_recovery_replayed_events_total "
+    os << bare("caesar_recovery_replayed_events_total") << " "
        << report.durability.recovery_replayed_events << "\n";
     os << "# TYPE caesar_wal_torn_tail_truncations_total counter\n";
-    os << "caesar_wal_torn_tail_truncations_total "
+    os << bare("caesar_wal_torn_tail_truncations_total") << " "
        << report.durability.torn_tail_truncations << "\n";
   }
 
   if (report.granularity >= MetricsGranularity::kEngine) {
     os << "# TYPE caesar_ticks_total counter\n";
-    os << "caesar_ticks_total " << report.ticks.ticks << "\n";
+    os << bare("caesar_ticks_total") << " " << report.ticks.ticks << "\n";
     os << "# TYPE caesar_gc_runs_total counter\n";
-    os << "caesar_gc_runs_total " << report.ticks.gc_runs << "\n";
-    WritePromHistogram(os, "caesar_tick_events", "",
+    os << bare("caesar_gc_runs_total") << " " << report.ticks.gc_runs << "\n";
+    WritePromHistogram(os, "caesar_tick_events", tenant_label,
                        report.ticks.events_per_tick);
-    WritePromHistogram(os, "caesar_tick_partitions", "",
+    WritePromHistogram(os, "caesar_tick_partitions", tenant_label,
                        report.ticks.partitions_per_tick);
-    WritePromHistogram(os, "caesar_tick_derived", "",
+    WritePromHistogram(os, "caesar_tick_derived", tenant_label,
                        report.ticks.derived_per_tick);
-    WritePromHistogram(os, "caesar_tick_context_switches", "",
+    WritePromHistogram(os, "caesar_tick_context_switches", tenant_label,
                        report.ticks.context_switches_per_tick);
     if (!options.deterministic) {
       os << "# TYPE caesar_scheduler_seconds_sum counter\n";
-      os << "caesar_scheduler_seconds_sum "
+      os << bare("caesar_scheduler_seconds_sum") << " "
          << FmtDouble(report.ticks.scheduler_seconds.sum()) << "\n";
       os << "# TYPE caesar_ingest_seconds_sum counter\n";
-      os << "caesar_ingest_seconds_sum "
+      os << bare("caesar_ingest_seconds_sum") << " "
          << FmtDouble(report.ticks.ingest_seconds.sum()) << "\n";
       os << "# TYPE caesar_gc_pause_seconds_sum counter\n";
-      os << "caesar_gc_pause_seconds_sum "
+      os << bare("caesar_gc_pause_seconds_sum") << " "
          << FmtDouble(report.ticks.gc_pause_seconds.sum()) << "\n";
     }
     for (const CounterSnapshot& counter : report.counters) {
       os << "# HELP caesar_" << counter.name << "_total "
          << PromEscape(counter.help) << "\n";
       os << "# TYPE caesar_" << counter.name << "_total counter\n";
-      os << "caesar_" << counter.name << "_total " << counter.total << "\n";
+      os << bare(("caesar_" + counter.name + "_total").c_str()) << " "
+         << counter.total << "\n";
       if (!options.deterministic) {
         for (size_t shard = 0; shard < counter.per_shard.size(); ++shard) {
-          os << "caesar_" << counter.name << "_per_worker_total{worker=\""
-             << shard << "\"} " << counter.per_shard[shard] << "\n";
+          os << "caesar_" << counter.name << "_per_worker_total{"
+             << with("worker=\"" + std::to_string(shard) + "\"") << "} "
+             << counter.per_shard[shard] << "\n";
         }
       }
     }
     for (const HistogramSnapshot& histogram : report.histograms) {
       os << "# HELP caesar_" << histogram.name << " "
          << PromEscape(histogram.help) << "\n";
-      WritePromHistogram(os, "caesar_" + histogram.name, "",
+      WritePromHistogram(os, "caesar_" + histogram.name, tenant_label,
                          histogram.merged);
     }
   }
@@ -780,9 +810,10 @@ std::string StatisticsToPrometheus(const StatisticsReport& report,
          << "# TYPE caesar_op_invocations_total counter\n";
       first_op_row = false;
     }
-    std::string labels = "query=\"" + PromEscape(row.query) + "\",op=\"" +
-                         std::to_string(row.op_index) + "\",kind=\"" +
-                         OperatorKindName(row.kind) + "\"";
+    std::string labels = with("query=\"" + PromEscape(row.query) +
+                              "\",op=\"" + std::to_string(row.op_index) +
+                              "\",kind=\"" + OperatorKindName(row.kind) +
+                              "\"");
     os << "caesar_op_invocations_total{" << labels << "} "
        << row.stats.invocations << "\n";
     os << "caesar_op_input_events_total{" << labels << "} "
@@ -807,20 +838,24 @@ std::string StatisticsToPrometheus(const StatisticsReport& report,
 
   if (!options.deterministic && report.executor_workers > 0) {
     os << "# TYPE caesar_executor_workers gauge\n";
-    os << "caesar_executor_workers " << report.executor_workers << "\n";
-    os << "# TYPE caesar_executor_ticks_total counter\n";
-    os << "caesar_executor_ticks_total " << report.executor.ticks << "\n";
-    os << "# TYPE caesar_executor_tasks_total counter\n";
-    os << "caesar_executor_tasks_total " << report.executor.tasks << "\n";
-    os << "# TYPE caesar_executor_imbalance_total counter\n";
-    os << "caesar_executor_imbalance_total " << report.executor.imbalance
+    os << bare("caesar_executor_workers") << " " << report.executor_workers
        << "\n";
+    os << "# TYPE caesar_executor_ticks_total counter\n";
+    os << bare("caesar_executor_ticks_total") << " " << report.executor.ticks
+       << "\n";
+    os << "# TYPE caesar_executor_tasks_total counter\n";
+    os << bare("caesar_executor_tasks_total") << " " << report.executor.tasks
+       << "\n";
+    os << "# TYPE caesar_executor_imbalance_total counter\n";
+    os << bare("caesar_executor_imbalance_total") << " "
+       << report.executor.imbalance << "\n";
     os << "# TYPE caesar_executor_steals_total counter\n";
-    os << "caesar_executor_steals_total " << report.executor.steals << "\n";
-    WritePromHistogram(os, "caesar_executor_imbalance_per_tick", "",
+    os << bare("caesar_executor_steals_total") << " "
+       << report.executor.steals << "\n";
+    WritePromHistogram(os, "caesar_executor_imbalance_per_tick", tenant_label,
                        report.executor.imbalance_per_tick);
     os << "# TYPE caesar_executor_barrier_wait_seconds_sum counter\n";
-    os << "caesar_executor_barrier_wait_seconds_sum "
+    os << bare("caesar_executor_barrier_wait_seconds_sum") << " "
        << FmtDouble(report.executor.barrier_wait.sum()) << "\n";
   }
 

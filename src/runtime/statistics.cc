@@ -20,6 +20,7 @@ double StatisticsReport::reorder_rate() const {
 
 std::string StatisticsReport::ToString() const {
   std::ostringstream os;
+  if (!tenant.empty()) os << "tenant: " << tenant << "\n";
   os << "observed context activity: " << observed_context_activity << "\n";
   if (!analysis_diagnostics.empty()) {
     os << "analysis diagnostics:\n";

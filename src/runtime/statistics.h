@@ -81,6 +81,12 @@ struct QueryOperatorStats {
 
 // Full statistics snapshot.
 struct StatisticsReport {
+  // EngineOptions::tenant of the reporting engine; empty for library use.
+  // The JSON exporter emits a "tenant" field and the Prometheus exporter a
+  // tenant="..." label on every series only when non-empty, so reports
+  // without a tenant stay byte-identical to before the label existed.
+  std::string tenant;
+
   // Granularity the engine recorded at; tick metrics, timeline, and
   // registry snapshots below are meaningful only when != kOff.
   MetricsGranularity granularity = MetricsGranularity::kOff;

@@ -1,0 +1,104 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "query/model.h"
+#include "query/parser.h"
+#include "runtime/observability.h"
+#include "runtime/statistics.h"
+
+namespace caesar {
+
+Result<std::unique_ptr<TenantSession>> TenantSession::Create(
+    const std::string& name, std::string_view model_text,
+    SessionConfig config) {
+  auto registry = std::make_unique<TypeRegistry>();
+
+  ParseModelOptions parse_options;
+  parse_options.source_name = name;
+  Result<CaesarModel> model =
+      ParseModel(model_text, registry.get(), parse_options);
+  if (!model.ok()) return model.status();
+
+  EngineOptions engine_options;
+  engine_options.tenant = name;
+  engine_options.shared_executor = config.shared_executor;
+  engine_options.num_threads = 1;  // serial unless the pool overrides
+  engine_options.pattern_engine = config.pattern_engine;
+  engine_options.ingest_policy = config.ingest_policy;
+  engine_options.reorder_slack = config.reorder_slack;
+  engine_options.metrics = config.metrics;
+  engine_options.gather_statistics = config.gather_statistics;
+  // The strict analyzer is the admission gate: error-severity lint
+  // diagnostics reject registration before any engine state exists.
+  engine_options.analysis = AnalysisMode::kStrict;
+
+  Result<std::unique_ptr<Engine>> engine =
+      Engine::Create(model.value(), config.plan, std::move(engine_options));
+  if (!engine.ok()) return engine.status();
+
+  return std::unique_ptr<TenantSession>(
+      new TenantSession(name, std::move(registry),
+                        std::move(engine).value(), std::move(config)));
+}
+
+Status TenantSession::Ingest(EventBatch events) {
+  if (pending_.size() + events.size() > config_.max_pending_events) {
+    return Status::OutOfRange(
+        "pending buffer full: " + std::to_string(pending_.size()) +
+        " buffered + " + std::to_string(events.size()) + " offered > limit " +
+        std::to_string(config_.max_pending_events));
+  }
+  total_accepted_ += static_cast<int64_t>(events.size());
+  for (EventPtr& event : events) pending_.push_back(std::move(event));
+  return Status::Ok();
+}
+
+Status TenantSession::Drain(bool flush) {
+  if (pending_.empty()) return Status::Ok();
+  size_t runnable = pending_.size();
+  if (!flush) {
+    // Hold back the open tick: everything from the first event carrying
+    // the maximum buffered time onward. A later ingest may still extend
+    // that newest tick, and feeding the engine a partial tick would break
+    // the tick-aligned-split determinism contract. Scanning for the max
+    // (rather than trusting the back) keeps the rule correct for
+    // disordered input too — a late or corrupt low-time straggler behind
+    // the newest tick must not make the drain split it.
+    Timestamp max_time = pending_[0]->time();
+    size_t first_max = 0;
+    for (size_t i = 1; i < pending_.size(); ++i) {
+      if (pending_[i]->time() > max_time) {
+        max_time = pending_[i]->time();
+        first_max = i;
+      }
+    }
+    runnable = first_max;
+  }
+  if (runnable == 0) return Status::Ok();
+
+  EventBatch batch(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(runnable));
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(runnable));
+  Result<RunStats> stats = engine_->Run(batch, &outputs_);
+  if (!stats.ok()) return stats.status();
+  return Status::Ok();
+}
+
+EventBatch TenantSession::TakeOutputs() {
+  EventBatch out;
+  out.swap(outputs_);
+  return out;
+}
+
+std::string TenantSession::ExportStats(bool prometheus,
+                                       bool deterministic) const {
+  StatisticsReport report = engine_->CollectStatistics();
+  ExportOptions options;
+  options.deterministic = deterministic;
+  return prometheus ? StatisticsToPrometheus(report, options)
+                    : StatisticsToJson(report, options);
+}
+
+}  // namespace caesar

@@ -1,0 +1,113 @@
+// One tenant hosted by caesard: an Engine (over the server's shared worker
+// pool), its model's TypeRegistry, and the two buffers that adapt socket
+// push to the engine's batch Run —
+//
+//   pending_  events accepted off the wire but not yet run. Drain feeds
+//             the engine whole ticks only: the trailing run of equal-time
+//             events (the still-open newest tick) is held back until more
+//             time arrives or the tenant flushes. Tick-aligned splits are
+//             exactly the boundary the durability tests already prove
+//             byte-identical to one batch Run, which is what makes the
+//             server's deterministic mode hold.
+//   outputs_  derived events not yet shipped to the client (poll/flush).
+//
+// Sessions are not thread-safe; the server serializes access (one global
+// session lock), which also honors the shared-executor contract that two
+// engines never ExecuteTick concurrently.
+
+#ifndef CAESAR_SERVER_SESSION_H_
+#define CAESAR_SERVER_SESSION_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "plan/translator.h"
+#include "runtime/engine.h"
+
+namespace caesar {
+
+// Per-tenant knobs, decoded from the register request's "options" object
+// (server/protocol.h). Engine-level fields mirror EngineOptions.
+struct SessionConfig {
+  // Worker pool the tenant's engine dispatches to; null = serial engine.
+  std::shared_ptr<ShardedExecutor> shared_executor;
+
+  PatternEngine pattern_engine = PatternEngine::kInterpreted;
+  IngestPolicy ingest_policy = IngestPolicy::kStrict;
+  Timestamp reorder_slack = 0;
+  MetricsGranularity metrics = MetricsGranularity::kEngine;
+  bool gather_statistics = true;
+  PlanOptions plan;
+
+  // Backpressure bound: an ingest that would push pending_ beyond this
+  // many events is rejected whole with I420 (no partial admission, no
+  // silent drops).
+  size_t max_pending_events = 1u << 16;
+};
+
+// A registered tenant. Construction is the admission gate: the model must
+// survive the strict parse AND the strict analyzer (caesar-lint's gate,
+// AnalysisMode::kStrict) before an engine exists.
+class TenantSession {
+ public:
+  static Result<std::unique_ptr<TenantSession>> Create(
+      const std::string& name, std::string_view model_text,
+      SessionConfig config);
+
+  const std::string& name() const { return name_; }
+  const TypeRegistry& registry() const { return *registry_; }
+  const SessionConfig& config() const { return config_; }
+
+  size_t pending_events() const { return pending_.size(); }
+  size_t max_pending_events() const { return config_.max_pending_events; }
+  int64_t total_accepted() const { return total_accepted_; }
+
+  // Appends to pending_, whole batch or nothing: OutOfRange (the server
+  // maps it to I420) when the batch would overflow the bound.
+  Status Ingest(EventBatch events);
+
+  // Runs the engine over buffered complete ticks (see file comment). With
+  // `flush` the open tick is forced through too, leaving pending_ empty.
+  // A failed Run (e.g. strict-policy rejection of disordered input)
+  // discards the rejected events — exactly what a library caller does
+  // with a batch Run rejects — and returns the engine's Status.
+  Status Drain(bool flush);
+
+  // Hands over and clears the derived events accumulated by Drain.
+  EventBatch TakeOutputs();
+
+  // Statistics export for this tenant (the report carries the tenant
+  // label). `prometheus` picks the text exposition format over JSON;
+  // `deterministic` drops wall-clock and thread-layout fields so exports
+  // are byte-comparable to an in-process run.
+  std::string ExportStats(bool prometheus, bool deterministic) const;
+
+  const Engine& engine() const { return *engine_; }
+
+ private:
+  TenantSession(std::string name, std::unique_ptr<TypeRegistry> registry,
+                std::unique_ptr<Engine> engine, SessionConfig config)
+      : name_(std::move(name)),
+        registry_(std::move(registry)),
+        engine_(std::move(engine)),
+        config_(std::move(config)) {}
+
+  std::string name_;
+  // The model and plan reference the registry by pointer; it must outlive
+  // the engine, so the session owns it on the heap.
+  std::unique_ptr<TypeRegistry> registry_;
+  std::unique_ptr<Engine> engine_;
+  SessionConfig config_;
+
+  EventBatch pending_;
+  EventBatch outputs_;
+  int64_t total_accepted_ = 0;
+};
+
+}  // namespace caesar
+
+#endif  // CAESAR_SERVER_SESSION_H_

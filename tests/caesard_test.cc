@@ -1,0 +1,521 @@
+// End-to-end tests for caesard: a real daemon process on a loopback
+// socket, driven through the wire protocol, held byte-identical to
+// in-process Engine::Run.
+//
+// The differential matrix covers {interpreted, compiled} pattern engines
+// x {1, 2, 4} worker threads: for each cell the socket-fed tenant's
+// derived stream AND its deterministic JSON statistics export must equal
+// the in-process batch run byte for byte. The multi-tenant test
+// interleaves two tenants — one fed fault-injected garbage — and holds
+// each to its solo-run bytes, quarantine counters included. The
+// backpressure test fills a tiny admission buffer, expects coded I420
+// rejections on the wire, and proves clean resumption without silent
+// drops.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "caesard_harness.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "fault_injection.h"
+#include "gtest/gtest.h"
+#include "plan/translator.h"
+#include "query/parser.h"
+#include "runtime/engine.h"
+#include "runtime/observability.h"
+#include "server/protocol.h"
+#include "server/wire.h"
+
+namespace caesar {
+namespace {
+
+using testing::Client;
+using testing::Daemon;
+using testing::ErrorCode;
+using testing::IsOk;
+using testing::Req;
+
+// The activity-monitoring example model: hysteresis contexts plus a SEQ
+// escalation pattern, so the compiled pattern engine has real work.
+constexpr char kModel[] = R"(
+TYPE ActivityReport(subject int, hr int, intensity int, sec int);
+TYPE HrEscalation(subject int, from_hr int, to_hr int);
+
+CONTEXTS rest, active DEFAULT rest;
+PARTITION BY subject;
+
+QUERY detect_active
+INITIATE CONTEXT active
+PATTERN ActivityReport r
+WHERE r.intensity >= 7
+CONTEXT rest;
+
+QUERY detect_rest
+TERMINATE CONTEXT active
+PATTERN ActivityReport r
+WHERE r.intensity <= 3
+CONTEXT active;
+
+QUERY hr_escalation
+DERIVE HrEscalation(a.subject AS subject, a.hr AS from_hr, b.hr AS to_hr)
+PATTERN SEQ(ActivityReport a, ActivityReport b) WITHIN 30
+WHERE a.subject = b.subject AND b.hr > a.hr AND b.hr >= 150
+CONTEXT active;
+)";
+
+// Deterministic multi-partition stream: intensities sweep through the
+// hysteresis thresholds so contexts open and close; heart rates wander
+// through 150 so escalations derive.
+EventBatch MakeStream(const TypeRegistry& registry, int subjects,
+                      Timestamp ticks) {
+  const TypeId type = registry.Lookup("ActivityReport");
+  EXPECT_NE(type, kInvalidTypeId);
+  uint64_t state = 0x5eed;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int64_t>(state >> 33);
+  };
+  EventBatch stream;
+  for (Timestamp sec = 1; sec <= ticks; ++sec) {
+    for (int subject = 0; subject < subjects; ++subject) {
+      const int64_t intensity = next() % 11;
+      const int64_t hr = 110 + next() % 70;
+      stream.push_back(MakeEvent(
+          type, sec,
+          {Value(static_cast<int64_t>(subject)), Value(hr), Value(intensity),
+           Value(static_cast<int64_t>(sec))}));
+    }
+  }
+  return stream;
+}
+
+std::string Render(const EventBatch& events, const TypeRegistry& registry) {
+  std::ostringstream os;
+  for (const EventPtr& event : events) {
+    os << event->time() << " " << event->ToString(registry) << "\n";
+  }
+  return os.str();
+}
+
+// In-process reference engine, configured exactly like a caesard tenant.
+struct Reference {
+  std::unique_ptr<TypeRegistry> registry = std::make_unique<TypeRegistry>();
+  std::unique_ptr<Engine> engine;
+
+  static Reference Build(const std::string& tenant, PatternEngine pattern,
+                         int threads,
+                         IngestPolicy policy = IngestPolicy::kStrict) {
+    Reference ref;
+    auto model = ParseModel(kModel, ref.registry.get());
+    EXPECT_TRUE(model.ok()) << model.status();
+    EngineOptions options;
+    options.tenant = tenant;
+    options.num_threads = threads;
+    options.pattern_engine = pattern;
+    options.ingest_policy = policy;
+    options.metrics = MetricsGranularity::kEngine;
+    options.gather_statistics = true;
+    options.analysis = AnalysisMode::kStrict;
+    auto engine = Engine::Create(model.value(), PlanOptions{}, options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    ref.engine = std::move(engine).value();
+    return ref;
+  }
+
+  std::string StatsJson() const {
+    ExportOptions options;
+    options.deterministic = true;
+    return StatisticsToJson(engine->CollectStatistics(), options);
+  }
+};
+
+// Feeds `stream` to `tenant` in `chunk`-sized wire batches (deliberately
+// not tick-aligned) and returns the rendered derived stream, decoding the
+// response rows against `registry`. Uses `client` so several tenants can
+// interleave on distinct connections.
+std::string StreamOverSocket(Client& client, const std::string& tenant,
+                             const EventBatch& stream, size_t chunk,
+                             const TypeRegistry& registry,
+                             bool binary = true) {
+  EventBatch derived;
+  auto collect = [&](const JsonValue& response) {
+    const JsonValue* rows = response.Find("derived");
+    if (rows == nullptr) return;
+    for (const JsonValue& row : rows->items()) {
+      EventPtr event;
+      Status status = DecodeEventRow(row, registry, &event);
+      ASSERT_TRUE(status.ok()) << status;
+      derived.push_back(std::move(event));
+    }
+  };
+
+  for (size_t at = 0; at < stream.size(); at += chunk) {
+    const size_t end = std::min(at + chunk, stream.size());
+    JsonValue request = Req("ingest", tenant);
+    JsonValue rows = JsonValue::Array();
+    for (size_t i = at; i < end; ++i) {
+      rows.Append(EncodeEventRow(*stream[i], registry));
+    }
+    request.Set("events", std::move(rows));
+    auto response = client.Call(request, binary);
+    EXPECT_TRUE(response.ok()) << response.status();
+    if (!response.ok()) return {};
+    EXPECT_TRUE(IsOk(response.value())) << response.value().Dump();
+    if (!IsOk(response.value())) return {};
+    collect(response.value());
+    if (::testing::Test::HasFatalFailure()) return {};
+  }
+  auto flushed = client.Call(Req("flush", tenant), binary);
+  EXPECT_TRUE(flushed.ok() && IsOk(flushed.value()));
+  if (flushed.ok()) collect(flushed.value());
+  return Render(derived, registry);
+}
+
+std::string SocketStats(Client& client, const std::string& tenant) {
+  JsonValue request = Req("stats", tenant);
+  request.Set("deterministic", JsonValue::Bool(true));
+  auto response = client.Call(request);
+  EXPECT_TRUE(response.ok() && IsOk(response.value()));
+  if (!response.ok()) return {};
+  const JsonValue* stats = response.value().Find("stats");
+  return stats != nullptr && stats->is_string() ? stats->string_value()
+                                                : std::string();
+}
+
+JsonValue RegisterReq(const std::string& tenant, const char* pattern_engine,
+                      const char* ingest = nullptr) {
+  JsonValue request = Req("register", tenant);
+  request.Set("model", JsonValue::String(kModel));
+  JsonValue options = JsonValue::Object();
+  options.Set("pattern_engine", JsonValue::String(pattern_engine));
+  if (ingest != nullptr) options.Set("ingest", JsonValue::String(ingest));
+  request.Set("options", std::move(options));
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Differential matrix: engines x threads, socket vs batch, byte identical
+// ---------------------------------------------------------------------------
+
+class CaesardDifferential
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(CaesardDifferential, SocketMatchesBatchByteForByte) {
+  const char* engine_name = std::get<0>(GetParam());
+  const int workers = std::get<1>(GetParam());
+  PatternEngine pattern = PatternEngine::kInterpreted;
+  ASSERT_TRUE(ParsePatternEngine(engine_name, &pattern));
+
+  Daemon daemon({"--deterministic", "--workers=" + std::to_string(workers)});
+  ASSERT_TRUE(daemon.valid());
+  Client client(daemon.port());
+  ASSERT_TRUE(client.connected());
+
+  auto registered = client.Call(RegisterReq("t1", engine_name));
+  ASSERT_TRUE(registered.ok() && IsOk(registered.value()))
+      << (registered.ok() ? registered.value().Dump()
+                          : registered.status().ToString());
+
+  // The reference: one batch Run over the identical stream.
+  Reference ref = Reference::Build("t1", pattern, workers);
+  ASSERT_NE(ref.engine, nullptr);
+  const EventBatch stream = MakeStream(*ref.registry, 6, 120);
+  EventBatch expected_derived;
+  auto stats = ref.engine->Run(stream, &expected_derived);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_GT(expected_derived.size(), 0u) << "workload derives nothing";
+
+  // Socket side: 37-event chunks, nowhere tick-aligned on purpose.
+  const std::string socket_rendered =
+      StreamOverSocket(client, "t1", stream, 37, *ref.registry);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  EXPECT_EQ(socket_rendered, Render(expected_derived, *ref.registry));
+
+  // Deterministic statistics export: byte-identical too (tenant label
+  // included on both sides).
+  EXPECT_EQ(SocketStats(client, "t1"), ref.StatsJson());
+
+  auto teardown = client.Call(Req("teardown", "t1"));
+  EXPECT_TRUE(teardown.ok() && IsOk(teardown.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndThreads, CaesardDifferential,
+    ::testing::Combine(::testing::Values("interpreted", "compiled"),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Multi-tenant isolation under interleaved (and partly corrupt) ingest
+// ---------------------------------------------------------------------------
+
+TEST(CaesardMultiTenant, InterleavedTenantsMatchSoloRunsBitForBit) {
+  Daemon daemon({"--deterministic", "--workers=2"});
+  ASSERT_TRUE(daemon.valid());
+
+  // Tenant A: clean stream, strict policy, interpreted engine.
+  // Tenant B: the same stream with fault-injected garbage (unknown types
+  // and negative times), drop policy so the engine quarantines instead of
+  // rejecting, compiled engine. Separate connections, interleaved chunks.
+  Client client_a(daemon.port());
+  Client client_b(daemon.port());
+  ASSERT_TRUE(client_a.connected() && client_b.connected());
+
+  auto reg_a = client_a.Call(RegisterReq("alpha", "interpreted"));
+  ASSERT_TRUE(reg_a.ok() && IsOk(reg_a.value()));
+  auto reg_b = client_b.Call(RegisterReq("beta", "compiled", "drop"));
+  ASSERT_TRUE(reg_b.ok() && IsOk(reg_b.value()));
+
+  Reference ref_a =
+      Reference::Build("alpha", PatternEngine::kInterpreted, 2);
+  Reference ref_b = Reference::Build("beta", PatternEngine::kCompiled, 2,
+                                     IngestPolicy::kDrop);
+  ASSERT_NE(ref_a.engine, nullptr);
+  ASSERT_NE(ref_b.engine, nullptr);
+
+  const EventBatch clean = MakeStream(*ref_a.registry, 5, 90);
+  caesar::testing::FaultInjector injector(/*seed=*/7);
+  // Unknown-type ids are out of range for BOTH registries (identical
+  // models) — over the wire they travel as "__unknown__".
+  EventBatch corrupt = injector.CorruptTypes(
+      clean, 0.08, ref_b.registry->num_types());
+  corrupt = injector.CorruptTimes(corrupt, 0.04);
+
+  // Solo references.
+  EventBatch expect_a;
+  EventBatch expect_b;
+  ASSERT_TRUE(ref_a.engine->Run(clean, &expect_a).ok());
+  ASSERT_TRUE(ref_b.engine->Run(corrupt, &expect_b).ok());
+
+  // Interleave on the wire: alternate 23-event chunks A/B.
+  EventBatch derived_a;
+  EventBatch derived_b;
+  auto send_chunk = [&](Client& client, const std::string& tenant,
+                        const EventBatch& stream, size_t at, size_t chunk,
+                        EventBatch* sink, const TypeRegistry& registry) {
+    if (at >= stream.size()) return;
+    const size_t end = std::min(at + chunk, stream.size());
+    JsonValue request = Req("ingest", tenant);
+    JsonValue rows = JsonValue::Array();
+    for (size_t i = at; i < end; ++i) {
+      rows.Append(EncodeEventRow(*stream[i], registry));
+    }
+    request.Set("events", std::move(rows));
+    auto response = client.Call(request);
+    ASSERT_TRUE(response.ok() && IsOk(response.value()))
+        << (response.ok() ? response.value().Dump()
+                          : response.status().ToString());
+    if (const JsonValue* out = response.value().Find("derived")) {
+      for (const JsonValue& row : out->items()) {
+        EventPtr event;
+        ASSERT_TRUE(DecodeEventRow(row, registry, &event).ok());
+        sink->push_back(std::move(event));
+      }
+    }
+  };
+  const size_t chunk = 23;
+  const size_t steps =
+      (std::max(clean.size(), corrupt.size()) + chunk - 1) / chunk;
+  for (size_t step = 0; step < steps; ++step) {
+    send_chunk(client_a, "alpha", clean, step * chunk, chunk, &derived_a,
+               *ref_a.registry);
+    send_chunk(client_b, "beta", corrupt, step * chunk, chunk, &derived_b,
+               *ref_b.registry);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  }
+  auto drain = [&](Client& client, const std::string& tenant,
+                   EventBatch* sink, const TypeRegistry& registry) {
+    auto response = client.Call(Req("flush", tenant));
+    ASSERT_TRUE(response.ok() && IsOk(response.value()));
+    for (const JsonValue& row : response.value().Find("derived")->items()) {
+      EventPtr event;
+      ASSERT_TRUE(DecodeEventRow(row, registry, &event).ok());
+      sink->push_back(std::move(event));
+    }
+  };
+  drain(client_a, "alpha", &derived_a, *ref_a.registry);
+  drain(client_b, "beta", &derived_b, *ref_b.registry);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+  EXPECT_EQ(Render(derived_a, *ref_a.registry),
+            Render(expect_a, *ref_a.registry));
+  EXPECT_EQ(Render(derived_b, *ref_b.registry),
+            Render(expect_b, *ref_b.registry));
+
+  // Statistics isolation: each tenant's deterministic export equals its
+  // solo run — quarantine activity included, so beta's garbage counters
+  // cannot have leaked into alpha (whose export shows zero quarantined).
+  const std::string stats_a = SocketStats(client_a, "alpha");
+  const std::string stats_b = SocketStats(client_b, "beta");
+  EXPECT_EQ(stats_a, ref_a.StatsJson());
+  EXPECT_EQ(stats_b, ref_b.StatsJson());
+  EXPECT_NE(stats_a.find("\"quarantined\":0"), std::string::npos);
+  EXPECT_EQ(stats_b.find("\"quarantined\":0"), std::string::npos);
+  EXPECT_NE(stats_a.find("\"tenant\":\"alpha\""), std::string::npos);
+  EXPECT_NE(stats_b.find("\"tenant\":\"beta\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: bounded buffer, coded rejection, clean resumption
+// ---------------------------------------------------------------------------
+
+TEST(CaesardBackpressure, BoundedBufferRejectsWithI420AndResumes) {
+  Daemon daemon({"--deterministic", "--workers=1"});
+  ASSERT_TRUE(daemon.valid());
+  Client client(daemon.port());
+  ASSERT_TRUE(client.connected());
+
+  JsonValue request = Req("register", "t1");
+  request.Set("model", JsonValue::String(kModel));
+  JsonValue options = JsonValue::Object();
+  options.Set("pattern_engine", JsonValue::String("interpreted"));
+  options.Set("max_pending_events", JsonValue::Int(8));
+  request.Set("options", std::move(options));
+  auto registered = client.Call(request);
+  ASSERT_TRUE(registered.ok() && IsOk(registered.value()));
+
+  Reference ref = Reference::Build("t1", PatternEngine::kInterpreted, 1);
+  ASSERT_NE(ref.engine, nullptr);
+  // Two ticks x 6 subjects. Each tick's 6 events stay buffered as the
+  // open tick until a flush — exactly the squeeze the bound needs.
+  const EventBatch full = MakeStream(*ref.registry, 6, 2);
+  ASSERT_EQ(full.size(), 12u);
+  const EventBatch tick1(full.begin(), full.begin() + 6);
+  const EventBatch tick2(full.begin() + 6, full.end());
+
+  auto ingest = [&](const EventBatch& events) {
+    JsonValue req2 = Req("ingest", "t1");
+    JsonValue rows = JsonValue::Array();
+    for (const EventPtr& event : events) {
+      rows.Append(EncodeEventRow(*event, *ref.registry));
+    }
+    req2.Set("events", std::move(rows));
+    auto response = client.Call(req2);
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.value();
+  };
+
+  // 6 in (buffered as the open tick), then 6 more: 12 > 8 — refused whole.
+  JsonValue first = ingest(tick1);
+  ASSERT_TRUE(IsOk(first)) << first.Dump();
+  EXPECT_EQ(first.Find("pending")->int_value(), 6);
+
+  JsonValue rejected = ingest(tick2);
+  ASSERT_FALSE(IsOk(rejected)) << rejected.Dump();
+  EXPECT_EQ(ErrorCode(rejected), "I420");
+  EXPECT_EQ(rejected.Find("pending")->int_value(), 6);  // nothing admitted
+  EXPECT_EQ(rejected.Find("limit")->int_value(), 8);
+
+  // Flush drains the buffer; the refused batch is then accepted on retry —
+  // clean resumption, and the rejection was whole (no partial admission
+  // to double-count now).
+  auto flushed = client.Call(Req("flush", "t1"));
+  ASSERT_TRUE(flushed.ok() && IsOk(flushed.value()));
+  JsonValue second = ingest(tick2);
+  ASSERT_TRUE(IsOk(second)) << second.Dump();
+
+  auto final_flush = client.Call(Req("flush", "t1"));
+  ASSERT_TRUE(final_flush.ok() && IsOk(final_flush.value()));
+
+  // No silent drops: the strict-mode engine admitted exactly the 12
+  // events of the two accepted batches.
+  const std::string stats = SocketStats(client, "t1");
+  EXPECT_NE(stats.find("\"admitted\":12"), std::string::npos) << stats;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol surface: admission gate, tenant lifecycle, debug framing
+// ---------------------------------------------------------------------------
+
+TEST(CaesardProtocol, LifecycleAndCodedErrors) {
+  Daemon daemon({"--deterministic", "--workers=2"});
+  ASSERT_TRUE(daemon.valid());
+  Client client(daemon.port());
+  ASSERT_TRUE(client.connected());
+
+  // Ping reports the mode.
+  auto ping = client.Call(Req("ping"));
+  ASSERT_TRUE(ping.ok() && IsOk(ping.value()));
+  EXPECT_TRUE(ping.value().Find("deterministic")->bool_value());
+  EXPECT_EQ(ping.value().Find("workers")->int_value(), 2);
+
+  // Admission gate, leg 1: unparseable model.
+  JsonValue bad = Req("register", "broken");
+  bad.Set("model", JsonValue::String("TYPE Nope(a int;"));
+  auto r1 = client.Call(bad);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(IsOk(r1.value()));
+  EXPECT_EQ(ErrorCode(r1.value()), "I424");
+
+  // Admission gate, leg 2: parses, but the strict analyzer rejects the
+  // unknown attribute (E102) — caesar-lint as gatekeeper.
+  JsonValue lint = Req("register", "lintfail");
+  lint.Set("model", JsonValue::String(
+                        "TYPE A(x int);\n"
+                        "TYPE B(y int);\n"
+                        "CONTEXTS c0 DEFAULT c0;\n"
+                        "PARTITION BY x;\n"
+                        "QUERY q DERIVE B(a.nope AS y) PATTERN A a "
+                        "CONTEXT c0;\n"));
+  auto r2 = client.Call(lint);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(IsOk(r2.value()));
+  EXPECT_EQ(ErrorCode(r2.value()), "I424");
+  EXPECT_NE(r2.value().Find("error")->string_value().find("E102"),
+            std::string::npos)
+      << r2.value().Dump();
+  EXPECT_EQ(client.Call(Req("list")).value().Find("tenants")->items().size(),
+            0u);
+
+  // Lifecycle codes: duplicate register, unknown tenant, unknown option.
+  ASSERT_TRUE(IsOk(client.Call(RegisterReq("t1", "interpreted")).value()));
+  EXPECT_EQ(ErrorCode(client.Call(RegisterReq("t1", "interpreted")).value()),
+            "I422");
+  EXPECT_EQ(ErrorCode(client.Call(Req("poll", "ghost")).value()), "I421");
+  JsonValue bad_option = Req("register", "t2");
+  bad_option.Set("model", JsonValue::String(kModel));
+  JsonValue opts = JsonValue::Object();
+  opts.Set("no_such_knob", JsonValue::Bool(true));
+  bad_option.Set("options", std::move(opts));
+  EXPECT_EQ(ErrorCode(client.Call(bad_option).value()), "I423");
+
+  // Teardown frees the name for re-registration.
+  EXPECT_TRUE(IsOk(client.Call(Req("teardown", "t1")).value()));
+  EXPECT_TRUE(IsOk(client.Call(RegisterReq("t1", "interpreted")).value()));
+
+  // Wire shutdown: daemon exits 0 on its own.
+  EXPECT_TRUE(IsOk(client.Call(Req("shutdown")).value()));
+  EXPECT_TRUE(daemon.ShutdownCleanly());
+}
+
+TEST(CaesardProtocol, NewlineJsonFramingIsEquivalent) {
+  Daemon daemon({"--deterministic", "--workers=1"});
+  ASSERT_TRUE(daemon.valid());
+  Client client(daemon.port());
+  ASSERT_TRUE(client.connected());
+
+  auto registered =
+      client.Call(RegisterReq("t1", "interpreted"), /*binary=*/false);
+  ASSERT_TRUE(registered.ok() && IsOk(registered.value()));
+
+  Reference ref = Reference::Build("t1", PatternEngine::kInterpreted, 1);
+  ASSERT_NE(ref.engine, nullptr);
+  const EventBatch stream = MakeStream(*ref.registry, 3, 40);
+  EventBatch expected;
+  ASSERT_TRUE(ref.engine->Run(stream, &expected).ok());
+
+  const std::string rendered = StreamOverSocket(
+      client, "t1", stream, 29, *ref.registry, /*binary=*/false);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  EXPECT_EQ(rendered, Render(expected, *ref.registry));
+}
+
+}  // namespace
+}  // namespace caesar

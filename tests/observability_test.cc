@@ -306,7 +306,7 @@ WHERE t.celsius > 95
 CONTEXT overheated;
 )";
 
-StatisticsReport RunFixture(int num_threads) {
+StatisticsReport RunFixture(int num_threads, const std::string& tenant = "") {
   TypeRegistry registry;
   TypeId temperature =
       registry.RegisterOrGet("Temperature", {{"sensor", ValueType::kInt},
@@ -321,6 +321,7 @@ StatisticsReport RunFixture(int num_threads) {
   options.num_threads = num_threads;
   options.gather_statistics = true;
   options.metrics = MetricsGranularity::kOperator;
+  options.tenant = tenant;
   Engine engine(std::move(plan).value(), options);
 
   const double readings[] = {70, 80, 93, 97, 99, 85, 70, 65, 98, 72};
@@ -412,6 +413,59 @@ TEST(ExportDeterminismTest, FullExportCarriesTimingAndExecutorSections) {
   EXPECT_EQ(deterministic.find("scheduler_seconds"), std::string::npos);
   EXPECT_EQ(deterministic.find("\"executor\""), std::string::npos);
   EXPECT_EQ(deterministic.find("per_shard"), std::string::npos);
+}
+
+TEST(TenantLabelTest, EmptyTenantLeavesExportsUntouched) {
+  // Library use (no tenant) must emit exactly the pre-tenant byte stream —
+  // the golden tests above pin this, but assert the mechanism directly.
+  ExportOptions options;
+  options.deterministic = true;
+  StatisticsReport report = RunFixture(1);
+  EXPECT_EQ(report.tenant, "");
+  EXPECT_EQ(StatisticsToJson(report, options).find("tenant"),
+            std::string::npos);
+  EXPECT_EQ(StatisticsToPrometheus(report, options).find("tenant"),
+            std::string::npos);
+}
+
+TEST(TenantLabelTest, TenantFlowsFromEngineOptionsToEverySeries) {
+  ExportOptions options;
+  options.deterministic = true;
+  StatisticsReport report = RunFixture(1, "acme-7");
+  EXPECT_EQ(report.tenant, "acme-7");
+
+  const std::string json = StatisticsToJson(report, options);
+  EXPECT_NE(json.find("\"tenant\":\"acme-7\""), std::string::npos) << json;
+
+  // Prometheus: every sample line (not comments, not blanks) carries the
+  // tenant label — per-tenant series must never collide across tenants.
+  const std::string prom = StatisticsToPrometheus(report, options);
+  size_t samples = 0;
+  size_t start = 0;
+  while (start < prom.size()) {
+    size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    std::string line = prom.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ++samples;
+    EXPECT_NE(line.find("tenant=\"acme-7\""), std::string::npos) << line;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(TenantLabelTest, ApartFromTheLabelExportsMatchTenantless) {
+  // The tenant dimension is purely additive: strip the label text and the
+  // tenant export is byte-identical to the library export.
+  ExportOptions options;
+  options.deterministic = true;
+  const std::string bare = StatisticsToJson(RunFixture(1), options);
+  std::string labeled = StatisticsToJson(RunFixture(1, "acme-7"), options);
+  const std::string field = "\"tenant\":\"acme-7\",";
+  size_t at = labeled.find(field);
+  ASSERT_NE(at, std::string::npos);
+  labeled.erase(at, field.size());
+  EXPECT_EQ(labeled, bare);
 }
 
 TEST(ExportDeterminismTest, ReportToStringMentionsTelemetry) {

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Minimal caesard wire client (stdlib only), used by the CI server-smoke
+job and handy for manual poking.
+
+Each --cmd argument is one JSON request document, sent in order over one
+connection; every response prints as one JSON line on stdout. Exits 0 only
+if every response had "ok": true (--allow-errors disables that check).
+
+    caesard_client.py --port 7007 \
+      --cmd '{"cmd":"ping"}' \
+      --cmd '{"cmd":"register","tenant":"t1","model":"..."}'
+
+By default requests travel as binary frames (0xC5 + u32 LE length);
+--newline switches to the newline-JSON debug framing. Responses are read
+in whichever framing the server replied with (it mirrors the request).
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+
+MAGIC = 0xC5
+
+
+def send_request(sock, payload: bytes, newline: bool) -> None:
+    if newline:
+        sock.sendall(payload + b"\n")
+    else:
+        sock.sendall(struct.pack("<BI", MAGIC, len(payload)) + payload)
+
+
+def recv_exactly(sock, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("connection closed mid-message")
+        buf += chunk
+    return buf
+
+
+def recv_response(sock) -> bytes:
+    first = recv_exactly(sock, 1)
+    if first[0] == MAGIC:
+        (length,) = struct.unpack("<I", recv_exactly(sock, 4))
+        return recv_exactly(sock, length)
+    line = first
+    while not line.endswith(b"\n"):
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise ConnectionError("connection closed mid-line")
+        line += chunk
+    return line.rstrip(b"\r\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--newline", action="store_true",
+                        help="use newline-JSON framing instead of binary")
+    parser.add_argument("--allow-errors", action="store_true",
+                        help="exit 0 even when a response has ok=false")
+    parser.add_argument("--cmd", action="append", default=[],
+                        metavar="JSON", help="request document (repeatable)")
+    args = parser.parse_args()
+
+    ok = True
+    with socket.create_connection((args.host, args.port), timeout=30) as sock:
+        for raw in args.cmd:
+            request = json.loads(raw)  # fail fast on operator typos
+            send_request(sock, json.dumps(request).encode(), args.newline)
+            response = json.loads(recv_response(sock))
+            # Canonical separators: matches the server's own Dump form, so
+            # smoke checks can grep for exact wire fragments.
+            print(json.dumps(response, separators=(",", ":")))
+            if response.get("ok") is not True:
+                ok = False
+    return 0 if (ok or args.allow_errors) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -175,6 +175,14 @@ def check_report(report, where):
         report["granularity"] in ("off", "engine", "operator"),
         f"{where}: unknown granularity {report['granularity']!r}",
     )
+    # The tenant dimension (caesard per-tenant scrapes) is optional and,
+    # when present, a non-empty string: library engines omit the key
+    # entirely rather than emitting tenant="".
+    if "tenant" in report:
+        expect(
+            isinstance(report["tenant"], str) and report["tenant"],
+            f"{where}: tenant must be a non-empty string when present",
+        )
 
     ingest = report["ingest"]
     for key in ("admitted", "reordered", "dropped_late", "quarantined",
