@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "compile/compiler.h"
 #include "event/schema.h"
 #include "expr/analysis.h"
@@ -58,6 +59,52 @@ bool SingleThreshold(const ExprPtr& where, std::string* attr, double* key,
 // order.
 bool IsRisingCrossing(BinaryOp op) {
   return op == BinaryOp::kEq || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+// C006: every event that can initiate the context also terminates it, so
+// each window closes the moment it opens. Both queries must match a single
+// positive event of the same type; the implication compares attribute-keyed
+// interval summaries (each query binds the event under its own variable
+// name, so variable-qualified keys cannot be compared directly) and needs
+// both summaries exact. A contradictory initiating predicate is excluded —
+// that context never opens at all, which W201 already explains.
+bool ProvablyEmptyContext(const Query& init, const Query& term) {
+  auto single_positive = [](const Query& q) -> const PatternItem* {
+    if (!q.pattern.has_value()) return nullptr;
+    if (q.pattern->kind == PatternSpec::Kind::kAggregate) return nullptr;
+    if (q.pattern->items.size() != 1 || q.pattern->items[0].negated) {
+      return nullptr;
+    }
+    return &q.pattern->items[0];
+  };
+  const PatternItem* init_item = single_positive(init);
+  const PatternItem* term_item = single_positive(term);
+  if (init_item == nullptr || term_item == nullptr) return false;
+  if (init_item->event_type != term_item->event_type) return false;
+
+  auto normalize = [](const Query& q, const PatternItem& item,
+                      std::map<std::string, Interval>* out) {
+    PredicateSummary summary = PredicateSummary::FromExpr(q.where);
+    if (!summary.exact()) return false;
+    for (const auto& [key, interval] : summary.intervals()) {
+      if (!key.first.empty() && key.first != item.variable) return false;
+      auto [it, inserted] = out->emplace(key.second, interval);
+      if (!inserted) it->second.IntersectWith(interval);
+    }
+    return true;
+  };
+  std::map<std::string, Interval> init_map, term_map;
+  if (!normalize(init, *init_item, &init_map)) return false;
+  if (!normalize(term, *term_item, &term_map)) return false;
+  for (const auto& [attr, interval] : init_map) {
+    if (interval.IsEmpty()) return false;  // never initiates (W201)
+  }
+  for (const auto& [attr, term_interval] : term_map) {
+    auto it = init_map.find(attr);
+    Interval init_interval = it == init_map.end() ? Interval() : it->second;
+    if (!init_interval.ContainedIn(term_interval)) return false;
+  }
+  return true;
 }
 
 // Derived-type resolution state of one query.
@@ -424,9 +471,117 @@ class Analyzer {
       }
     }
 
+    CheckCrossPositionFacts(qi);
+
     if (query.derive.has_value()) {
       CheckDeriveClause(qi, info.bindings, /*post_aggregate=*/false);
     }
+  }
+
+  // "var.attr" rendering for interval-fact messages.
+  std::string FactName(const BindingSet& bindings, int var, int attr) {
+    std::string name = bindings.var(var).name;
+    if (name.empty()) name = "#" + std::to_string(var);
+    name += ".";
+    const Schema* schema = bindings.var(var).schema;
+    if (schema != nullptr && attr >= 0 && attr < schema->num_attributes()) {
+      name += schema->attribute(attr).name;
+    } else {
+      name += "a" + std::to_string(attr);
+    }
+    return name;
+  }
+
+  // ----- absint: cross-position interval facts (W206 / W207). -----
+  //
+  // Compiles each WHERE conjunct separately, assigns it to the latest
+  // pattern position it references (where the matcher first evaluates it),
+  // and runs the interval analysis across positions (analysis/absint.h): a
+  // conjunct provably true under the facts accumulated before it is
+  // subsumed (W207); one provably false — or facts that become jointly
+  // empty — means no match can ever complete (W206).
+  void CheckCrossPositionFacts(int qi) {
+    const Query& query = model_.query(qi);
+    const QueryInfo& info = infos_[qi];
+    if (query.where == nullptr) return;
+    const PatternSpec& pattern = *query.pattern;
+    std::string label = QueryLabel(query, qi);
+
+    std::vector<AbsPosition> positions(pattern.items.size());
+    std::vector<std::vector<ExprPtr>> sources(pattern.items.size());
+    for (size_t i = 0; i < pattern.items.size(); ++i) {
+      positions[i].negated = pattern.items[i].negated;
+    }
+    for (const ExprPtr& conjunct : SplitConjuncts(query.where)) {
+      auto compiled = Compile(conjunct, info.bindings);
+      if (!compiled.ok()) return;  // compile errors already reported
+      const std::vector<int>& vars = compiled.value()->referenced_vars();
+      if (vars.empty()) continue;  // constant: W205 territory
+      bool negated_ref = false;
+      int position = 0;
+      for (int var : vars) {
+        if (std::find(info.negated.begin(), info.negated.end(), var) !=
+            info.negated.end()) {
+          negated_ref = true;
+        }
+        position = std::max(position, var);
+      }
+      // Conjuncts over negated variables define the negation condition;
+      // they are not guards a run must pass.
+      if (negated_ref) continue;
+      positions[position].guards.push_back(
+          AbstractPredicate(*compiled.value()));
+      sources[position].push_back(conjunct);
+    }
+
+    PatternAbsintResult result = AnalyzePositions(positions);
+
+    for (size_t k = 0; k < positions.size(); ++k) {
+      for (size_t g = 0; g < positions[k].guards.size(); ++g) {
+        if (result.guards[k][g].verdict != AbsVerdict::kTrue) continue;
+        Emit(DiagCode::kW207SubsumedGuard,
+             "query '" + label + "': WHERE conjunct '" +
+                 sources[k][g]->ToString() +
+                 "' is subsumed: the constraints accumulated before it "
+                 "already imply it",
+             query.where_loc, label);
+      }
+    }
+
+    if (!result.dead()) return;
+    if (pattern.kind != PatternSpec::Kind::kSeq || pattern.items.size() < 2) {
+      return;
+    }
+    // W201 already explains a flat per-attribute contradiction; W206 adds
+    // the cross-position cases its summary cannot see.
+    for (const Diagnostic& diag : diags_) {
+      if (diag.code == DiagCode::kW201ContradictoryPredicate &&
+          diag.query == label) {
+        return;
+      }
+    }
+    std::ostringstream message;
+    message << "query '" << label << "': SEQ can never complete: ";
+    if (result.dead_guard >= 0) {
+      message << "WHERE conjunct '"
+              << sources[result.dead_position][result.dead_guard]->ToString()
+              << "' can never hold under the constraints accumulated from "
+                 "earlier positions";
+    } else {
+      const IntervalFacts& after = result.states[result.dead_position + 1];
+      auto key = after.EmptyKey();
+      message << "the constraints accumulated at position "
+              << result.dead_position << " leave ";
+      if (key.first >= 0) {
+        message << FactName(info.bindings, key.first, key.second)
+                << " constrained to the empty set "
+                << after.Get(key.first, key.second).ToString();
+      } else {
+        message << "an attribute constrained to the empty set";
+      }
+    }
+    Emit(DiagCode::kW206CrossPositionContradiction, message.str(),
+         query.where_loc, label);
   }
 
   void CheckAggregateQuery(int qi) {
@@ -606,7 +761,6 @@ class Analyzer {
     for (int ci = 0; ci < model_.num_contexts(); ++ci) {
       const ContextType& context = model_.context(ci);
       if (context.name == model_.default_context()) continue;
-      if (groupable.count(context.name) > 0) continue;
       // Mirror ExtractWindowBounds' initiator/terminator extraction.
       std::vector<int> initiators, terminators;
       bool self_loop = false;
@@ -628,6 +782,41 @@ class Analyzer {
       if (self_loop) continue;       // C002 already reported
       if (initiators.empty()) continue;  // C001 territory
       std::string prefix = "context '" + context.name + "' ";
+      // C006 runs before the groupable skip: a context whose terminator
+      // accepts every initiating event is empty whether or not its bounds
+      // form an orderable window (open at pos = 5 / close at pos <= 10 is
+      // groupable — 5 < 10 — yet each window closes the moment it opens).
+      std::string start_attr, end_attr;
+      double start_key = 0, end_key = 0;
+      BinaryOp start_op = BinaryOp::kGe, end_op = BinaryOp::kGe;
+      bool init_ok = false, term_ok = false;
+      if (initiators.size() == 1 && terminators.size() == 1) {
+        const Query& init = model_.query(initiators[0]);
+        const Query& term = model_.query(terminators[0]);
+        init_ok =
+            SingleThreshold(init.where, &start_attr, &start_key, &start_op);
+        term_ok =
+            SingleThreshold(term.where, &end_attr, &end_key, &end_op);
+        // C006 yields to W204 on the same-attribute rising-threshold
+        // shape: there the inverted-bounds warning explains the empty
+        // window more precisely (and fires on exactly the models it
+        // always did).
+        bool w204_shape = init_ok && term_ok && start_attr == end_attr &&
+                          IsRisingCrossing(start_op) &&
+                          IsRisingCrossing(end_op);
+        if (!w204_shape && ProvablyEmptyContext(init, term)) {
+          Emit(DiagCode::kC006ProvablyEmptyContext,
+               prefix + "is provably empty: every event satisfying the "
+                        "initiating predicate of query '" +
+                   QueryLabel(init, initiators[0]) +
+                   "' also satisfies the terminating predicate of query '" +
+                   QueryLabel(term, terminators[0]) +
+                   "', so each window closes the moment it opens",
+               context.loc, /*query=*/{}, context.name);
+          continue;
+        }
+      }
+      if (groupable.count(context.name) > 0) continue;
       if (terminators.empty()) {
         Note(prefix +
                  "has no terminating query; its windows never close and "
@@ -645,12 +834,6 @@ class Analyzer {
       }
       const Query& init = model_.query(initiators[0]);
       const Query& term = model_.query(terminators[0]);
-      std::string start_attr, end_attr;
-      double start_key = 0, end_key = 0;
-      BinaryOp start_op = BinaryOp::kGe, end_op = BinaryOp::kGe;
-      bool init_ok =
-          SingleThreshold(init.where, &start_attr, &start_key, &start_op);
-      bool term_ok = SingleThreshold(term.where, &end_attr, &end_key, &end_op);
       if (!init_ok || !term_ok) {
         const Query& bad = init_ok ? term : init;
         Note(prefix + "bounds are not compile-time orderable: the " +

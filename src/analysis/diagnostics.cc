@@ -26,6 +26,7 @@ const char* DiagCodeName(DiagCode code) {
     case DiagCode::kC003ShadowedSwitchEdge: return "C003";
     case DiagCode::kC004DeadQuery: return "C004";
     case DiagCode::kC005UnknownContext: return "C005";
+    case DiagCode::kC006ProvablyEmptyContext: return "C006";
     case DiagCode::kE101UnknownEventType: return "E101";
     case DiagCode::kE102UnknownAttribute: return "E102";
     case DiagCode::kE103TypeMismatch: return "E103";
@@ -40,6 +41,8 @@ const char* DiagCodeName(DiagCode code) {
     case DiagCode::kW203UngroupableWindow: return "W203";
     case DiagCode::kW204InvertedWindowBounds: return "W204";
     case DiagCode::kW205ConstantPredicate: return "W205";
+    case DiagCode::kW206CrossPositionContradiction: return "W206";
+    case DiagCode::kW207SubsumedGuard: return "W207";
     case DiagCode::kP301TooManyContexts: return "P301";
     case DiagCode::kP302TrailingNegation: return "P302";
     case DiagCode::kP303MultiNegatedPredicate: return "P303";
@@ -71,6 +74,8 @@ const char* DiagCodeTitle(DiagCode code) {
     case DiagCode::kC003ShadowedSwitchEdge: return "shadowed switch edge";
     case DiagCode::kC004DeadQuery: return "dead query";
     case DiagCode::kC005UnknownContext: return "unknown context";
+    case DiagCode::kC006ProvablyEmptyContext:
+      return "provably empty context";
     case DiagCode::kE101UnknownEventType: return "unknown event type";
     case DiagCode::kE102UnknownAttribute: return "unknown attribute";
     case DiagCode::kE103TypeMismatch: return "type mismatch";
@@ -87,6 +92,9 @@ const char* DiagCodeTitle(DiagCode code) {
     case DiagCode::kW203UngroupableWindow: return "ungroupable window";
     case DiagCode::kW204InvertedWindowBounds: return "inverted window bounds";
     case DiagCode::kW205ConstantPredicate: return "constant predicate";
+    case DiagCode::kW206CrossPositionContradiction:
+      return "cross-position contradiction";
+    case DiagCode::kW207SubsumedGuard: return "subsumed guard";
     case DiagCode::kP301TooManyContexts: return "too many contexts";
     case DiagCode::kP302TrailingNegation: return "trailing negation";
     case DiagCode::kP303MultiNegatedPredicate:
@@ -125,10 +133,13 @@ DiagSeverity DiagCodeDefaultSeverity(DiagCode code) {
     // degrades, a provably redundant edge).
     case DiagCode::kC003ShadowedSwitchEdge:
     case DiagCode::kC004DeadQuery:
+    case DiagCode::kC006ProvablyEmptyContext:
     case DiagCode::kW201ContradictoryPredicate:
     case DiagCode::kW202UnsatisfiableSeq:
     case DiagCode::kW204InvertedWindowBounds:
     case DiagCode::kW205ConstantPredicate:
+    case DiagCode::kW206CrossPositionContradiction:
+    case DiagCode::kW207SubsumedGuard:
     // Recovery degradation: the engine resumes (that is the point of the
     // WAL's commit boundary), but durability was imperfect — report it.
     case DiagCode::kI410TornWalTail:

@@ -35,6 +35,7 @@ enum class DiagCode : int16_t {
   kC003ShadowedSwitchEdge,   // an earlier switch provably fires first
   kC004DeadQuery,            // gated only on never-activatable contexts
   kC005UnknownContext,       // context name not declared
+  kC006ProvablyEmptyContext, // every initiating event also terminates
 
   // E1xx — expressions and types.
   kE101UnknownEventType,     // pattern references an unregistered type
@@ -53,6 +54,8 @@ enum class DiagCode : int16_t {
   kW203UngroupableWindow,      // bounds not compile-time orderable
   kW204InvertedWindowBounds,   // terminator threshold <= initiator threshold
   kW205ConstantPredicate,      // predicate folds to a constant
+  kW206CrossPositionContradiction, // SEQ can never complete (absint)
+  kW207SubsumedGuard,          // guard implied by earlier ones on the run
 
   // P3xx — plan.
   kP301TooManyContexts,        // exceeds the context bit-vector width

@@ -1,0 +1,53 @@
+// Clang thread-safety analysis macros (abseil style). Under clang with
+// -Wthread-safety these expand to the analysis attributes; under any
+// other compiler they expand to nothing, so annotated headers stay
+// portable. CI builds the tree once with clang and -Werror=thread-safety
+// to enforce the contracts.
+//
+// Usage:
+//   std::mutex mu_;
+//   int count_ CAESAR_GUARDED_BY(mu_);           // reads/writes need mu_
+//   void Drain() CAESAR_REQUIRES(mu_);           // caller must hold mu_
+//   void Stop() CAESAR_LOCKS_EXCLUDED(mu_);      // caller must NOT hold mu_
+#ifndef CAESAR_COMMON_THREAD_ANNOTATIONS_H_
+#define CAESAR_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CAESAR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CAESAR_THREAD_ANNOTATION(x)
+#endif
+
+// On a mutex-like class: participates in capability analysis.
+#define CAESAR_CAPABILITY(x) CAESAR_THREAD_ANNOTATION(capability(x))
+
+// On an RAII guard class: acquires its capability on construction and
+// releases it on destruction.
+#define CAESAR_SCOPED_CAPABILITY CAESAR_THREAD_ANNOTATION(scoped_lockable)
+
+// On a data member: may only be accessed while holding the given mutex.
+#define CAESAR_GUARDED_BY(x) CAESAR_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer member: the pointee (not the pointer) is guarded.
+#define CAESAR_PT_GUARDED_BY(x) CAESAR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a function: the caller must hold the given mutex(es).
+#define CAESAR_REQUIRES(...) \
+  CAESAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the given mutex(es).
+#define CAESAR_ACQUIRE(...) \
+  CAESAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CAESAR_RELEASE(...) \
+  CAESAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the given mutex(es).
+#define CAESAR_LOCKS_EXCLUDED(...) \
+  CAESAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot model (e.g. the executor's
+// epoch-barrier handoff). Use sparingly and justify at each site.
+#define CAESAR_NO_THREAD_SAFETY_ANALYSIS \
+  CAESAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // CAESAR_COMMON_THREAD_ANNOTATIONS_H_

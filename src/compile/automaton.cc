@@ -69,7 +69,15 @@ std::string CompiledAutomaton::DumpText(const TypeRegistry& registry) const {
       os << "    guard #" << predicate.config_index << ": ("
          << predicate.expr->ToString() << ")  cost="
          << FmtEstimate(predicate.est_cost)
-         << " sel=" << FmtEstimate(predicate.est_selectivity) << "\n";
+         << " sel=" << FmtEstimate(predicate.est_selectivity)
+         << (predicate.absint_refined ? "  (absint)" : "") << "\n";
+    }
+    for (const AutomatonPredicate& predicate : t.pruned) {
+      os << "    pruned #" << predicate.config_index << ": ("
+         << predicate.expr->ToString() << ")  [implied by earlier guards]\n";
+    }
+    if (dead_transition == static_cast<int>(s)) {
+      os << "    dead: no event can pass this transition (absint)\n";
     }
   }
   for (const NegationWatch& watch : negations) {

@@ -40,6 +40,9 @@ struct AutomatonPredicate {
   int config_index = 0;       // index in the position's predicate list
   double est_cost = 1.0;      // evaluator nodes (cost_model.h)
   double est_selectivity = 0.5;
+  // est_selectivity came from the abstract interpreter's satisfiable
+  // fraction (analysis/absint.h) instead of the flat shape heuristic.
+  bool absint_refined = false;
 
   // Evaluation rank: cost paid per unit of expected rejection; lower runs
   // first. A selectivity-1.0 guard never rejects, so it ranks last.
@@ -52,6 +55,10 @@ struct AutomatonTransition {
   int slot = 0;  // index into PatternOpConfig::positions
   TypeId type_id = kInvalidTypeId;
   std::vector<AutomatonPredicate> predicates;  // cost-ordered
+  // Guards the abstract interpreter proved implied by the guards already
+  // evaluated on any run reaching this state (config order). Never
+  // evaluated at runtime; kept for the dump and state_stats accounting.
+  std::vector<AutomatonPredicate> pruned;
 };
 
 // A negated position, checked when a run completes. The surrounding
@@ -80,6 +87,10 @@ struct CompiledAutomaton {
   // (1 .. k-1) whose transition awaits it, ascending. State 0 (fresh run)
   // is dispatched separately by the operator. Sorted by type id.
   std::vector<std::pair<TypeId, std::vector<int>>> dispatch;
+  // Transition the abstract interpreter proved impassable (-1 = none).
+  // When set, the accepting state is unreachable and the operator emits
+  // nothing — it short-circuits event processing entirely.
+  int dead_transition = -1;
 
   int num_states() const { return static_cast<int>(transitions.size()) + 1; }
 

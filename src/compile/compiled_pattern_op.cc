@@ -27,6 +27,11 @@ CompiledPatternOp::CompiledPatternOp(
 void CompiledPatternOp::Process(const EventBatch& input, EventBatch* output,
                                 OpExecContext* ctx) {
   const PatternOpConfig& cfg = *automaton_->config;
+  // A dead transition makes the accepting state unreachable: the pattern
+  // can never emit, so no run is worth creating or advancing. Emitting
+  // nothing is exactly what the interpreted matcher would do — its partial
+  // matches would all stall on the impassable position.
+  if (automaton_->dead_transition >= 0) return;
   if (cfg.pass_through) {
     ctx->CountWork(input.size());
     const auto& position = cfg.positions[0];

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/absint.h"
 #include "common/logging.h"
 #include "optimizer/cost_model.h"
 #include "plan/translator.h"
@@ -16,7 +17,8 @@ bool CompileSupported(const PatternOpConfig& config) {
 }
 
 std::shared_ptr<const CompiledAutomaton> CompilePattern(
-    std::shared_ptr<const PatternOpConfig> config) {
+    std::shared_ptr<const PatternOpConfig> config,
+    const PatternCompileOptions& options) {
   CAESAR_CHECK(CompileSupported(*config))
       << "pattern exceeds kMaxCompiledPositions: " << config->description;
   auto automaton = std::make_shared<CompiledAutomaton>();
@@ -24,6 +26,23 @@ std::shared_ptr<const CompiledAutomaton> CompilePattern(
   const auto& positions = config->positions;
 
   if (config->pass_through) return automaton;
+
+  // Interval facts over the positions (config order). Each guard's verdict
+  // is taken against the facts accumulated before it, so pruning is sound
+  // by induction: the kept guards imply every pruned one (absint.h).
+  PatternAbsintResult facts;
+  if (options.absint) {
+    std::vector<AbsPosition> abs_positions;
+    for (const auto& position : positions) {
+      AbsPosition abs;
+      abs.negated = position.negated;
+      for (const auto& predicate : position.predicates) {
+        abs.guards.push_back(AbstractPredicate(*predicate));
+      }
+      abs_positions.push_back(std::move(abs));
+    }
+    facts = AnalyzePositions(abs_positions);
+  }
 
   // Positive positions become the transition chain; negated ones become
   // completion-time watches with their interval endpoints precomputed.
@@ -60,6 +79,20 @@ std::shared_ptr<const CompiledAutomaton> CompilePattern(
       predicate.config_index = static_cast<int>(p);
       predicate.est_cost = EstimatePredicateCost(*predicate.expr);
       predicate.est_selectivity = EstimatePredicateSelectivity(*predicate.expr);
+      if (options.absint) {
+        const AbsGuardInfo& info = facts.guards[i][p];
+        if (info.verdict == AbsVerdict::kTrue) {
+          // Implied by guards already evaluated on any run reaching this
+          // state: never evaluate it again.
+          transition.pruned.push_back(std::move(predicate));
+          continue;
+        }
+        if (info.sat_fraction.has_value()) {
+          predicate.est_selectivity =
+              RefineSelectivityFromFacts(*info.sat_fraction);
+          predicate.absint_refined = true;
+        }
+      }
       transition.predicates.push_back(std::move(predicate));
     }
     // Lazy evaluation: cheapest expected cost per rejection first. The sort
@@ -72,6 +105,10 @@ std::shared_ptr<const CompiledAutomaton> CompilePattern(
                        if (a.rank() != b.rank()) return a.rank() < b.rank();
                        return a.config_index < b.config_index;
                      });
+    if (options.absint && facts.dead_position == i) {
+      automaton->dead_transition =
+          static_cast<int>(automaton->transitions.size());
+    }
     automaton->transitions.push_back(std::move(transition));
   }
   CAESAR_CHECK(!automaton->transitions.empty());
@@ -90,8 +127,9 @@ std::shared_ptr<const CompiledAutomaton> CompilePattern(
   return automaton;
 }
 
-Result<std::string> DumpModelAutomatons(const CaesarModel& model,
-                                        const PlanOptions& plan_options) {
+Result<std::string> DumpModelAutomatons(
+    const CaesarModel& model, const PlanOptions& plan_options,
+    const PatternCompileOptions& compile_options) {
   CAESAR_ASSIGN_OR_RETURN(ExecutablePlan plan,
                           TranslateModel(model, plan_options));
   std::ostringstream os;
@@ -107,7 +145,7 @@ Result<std::string> DumpModelAutomatons(const CaesarModel& model,
              << kMaxCompiledPositions << ")\n";
           continue;
         }
-        os << CompilePattern(pattern->shared_config())
+        os << CompilePattern(pattern->shared_config(), compile_options)
                   ->DumpText(*plan.registry);
       }
     }

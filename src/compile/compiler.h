@@ -29,18 +29,30 @@ inline constexpr int kMaxCompiledPositions = 16;
 // True when `config` can be compiled (position count within the limit).
 bool CompileSupported(const PatternOpConfig& config);
 
+// Knobs consulted while compiling one pattern.
+struct PatternCompileOptions {
+  // Run the abstract interpreter (analysis/absint.h) over the position
+  // guards: prune guards proven implied by earlier ones, mark transitions
+  // proven impassable, and refine guard selectivities from the derived
+  // satisfiable-fraction bounds. Off must be byte-identical to a compiler
+  // without the pass (EngineOptions::absint threads through here).
+  bool absint = true;
+};
+
 // Compiles `config`; aborts if !CompileSupported(config). The automaton
 // shares ownership of the config.
 std::shared_ptr<const CompiledAutomaton> CompilePattern(
-    std::shared_ptr<const PatternOpConfig> config);
+    std::shared_ptr<const PatternOpConfig> config,
+    const PatternCompileOptions& options = {});
 
 // Translates `model` and renders the automaton of every pattern operator in
 // plan order (deriving queries, then processing), one DumpText block per
 // operator prefixed by "query <name>". Unsupported patterns render a
 // one-line fallback note instead. Backs `caesar_lint --dump-automaton` and
 // the tests/compile_corpus/ goldens.
-Result<std::string> DumpModelAutomatons(const CaesarModel& model,
-                                        const PlanOptions& plan_options);
+Result<std::string> DumpModelAutomatons(
+    const CaesarModel& model, const PlanOptions& plan_options,
+    const PatternCompileOptions& compile_options = {});
 
 }  // namespace caesar
 

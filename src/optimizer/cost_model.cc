@@ -80,4 +80,8 @@ double EstimatePredicateSelectivity(const CompiledExpr& expr) {
                          static_cast<int>(expr.nodes().size()) - 1);
 }
 
+double RefineSelectivityFromFacts(double fraction) {
+  return std::clamp(fraction, 0.01, 0.99);
+}
+
 }  // namespace caesar

@@ -46,6 +46,14 @@ double EstimatePredicateCost(const CompiledExpr& expr);
 // odds; AND multiplies, OR unions.
 double EstimatePredicateSelectivity(const CompiledExpr& expr);
 
+// Replaces the shape heuristic with the abstract interpreter's
+// satisfiable-fraction bound (analysis/absint.h): the fraction of the
+// incoming fact region a guard's thresholds keep. Clamped away from 0 and
+// 1 — a provably-false guard kills the transition and a provably-true one
+// is pruned before ranking, so an estimate at the extremes is stale
+// information, and rank() needs a nonzero rejection probability.
+double RefineSelectivityFromFacts(double fraction);
+
 }  // namespace caesar
 
 #endif  // CAESAR_OPTIMIZER_COST_MODEL_H_

@@ -235,8 +235,8 @@ Result<DivergenceReport> CompareCase(const CaesarModel& model,
   // Byte renderings of interpreted legs, keyed by twin (compiled) name.
   std::map<std::string, std::string> interpreted_bytes;
 
-  auto run_leg = [&](const EngineLeg& leg,
-                     EventBatch* derived) -> Result<bool> {
+  auto run_leg = [&](const EngineLeg& leg, EventBatch* derived,
+                     bool absint = true) -> Result<bool> {
     EngineOptions eo;
     eo.num_threads = leg.threads;
     eo.gc_interval = options.oracle.gc_interval;
@@ -248,6 +248,7 @@ Result<DivergenceReport> CompareCase(const CaesarModel& model,
     eo.reorder_slack = leg.reorder ? reorder_slack : 0;
     eo.pattern_engine =
         leg.compiled ? PatternEngine::kCompiled : PatternEngine::kInterpreted;
+    eo.absint = absint;
     CAESAR_ASSIGN_OR_RETURN(
         std::unique_ptr<Engine> engine,
         Engine::Create(plans[leg.plan_shape].Clone(), eo));
@@ -305,6 +306,22 @@ Result<DivergenceReport> CompareCase(const CaesarModel& model,
       report.diverged = true;
       report.leg = leg.Name();
       report.detail = DescribeByteDiff(cached->second, compiled_bytes);
+      return report;
+    }
+    // Fourth side: the absint pass (pruning + re-ranking) must be a pure
+    // optimization — the same compiled leg with absint disabled has to
+    // produce the identical byte stream.
+    EventBatch noabsint_derived;
+    CAESAR_ASSIGN_OR_RETURN(
+        bool noabsint_ok,
+        run_leg(leg, &noabsint_derived, /*absint=*/false));
+    if (!noabsint_ok) return report;
+    const std::string noabsint_bytes =
+        RenderDerived(noabsint_derived, *model.registry());
+    if (noabsint_bytes != compiled_bytes) {
+      report.diverged = true;
+      report.leg = leg.Name() + "/noabsint";
+      report.detail = DescribeByteDiff(compiled_bytes, noabsint_bytes);
       return report;
     }
   }

@@ -26,7 +26,8 @@ uint64_t HashCombine(uint64_t seed, uint64_t value) {
 // every (query, op) row index — statistics, histograms, lint — is
 // unchanged). Runs on the template plan before any partition clones it,
 // so clones inherit the selected operator.
-void RewritePatternOps(OpChain* chain, PatternEngine mode) {
+void RewritePatternOps(OpChain* chain, PatternEngine mode,
+                       const PatternCompileOptions& compile_options) {
   for (auto& op : chain->ops) {
     if (op->kind() != Operator::Kind::kPattern) continue;
     const auto* pattern = static_cast<const PatternOp*>(op.get());
@@ -35,16 +36,19 @@ void RewritePatternOps(OpChain* chain, PatternEngine mode) {
       continue;  // stateless event match: nothing for the automaton to win
     }
     op = std::make_unique<CompiledPatternOp>(
-        CompilePattern(pattern->shared_config()));
+        CompilePattern(pattern->shared_config(), compile_options));
   }
 }
 
-void RewritePatternEngine(ExecutablePlan* plan, PatternEngine mode) {
+void RewritePatternEngine(ExecutablePlan* plan, PatternEngine mode,
+                          const PatternCompileOptions& compile_options) {
   if (mode == PatternEngine::kInterpreted) return;
   for (auto* queries : {&plan->deriving, &plan->processing}) {
     for (CompiledQuery& query : *queries) {
-      RewritePatternOps(&query.chain, mode);
-      for (OpChain& guard : query.guards) RewritePatternOps(&guard, mode);
+      RewritePatternOps(&query.chain, mode, compile_options);
+      for (OpChain& guard : query.guards) {
+        RewritePatternOps(&guard, mode, compile_options);
+      }
     }
   }
 }
@@ -305,7 +309,8 @@ Engine::Engine(ExecutablePlan plan, EngineOptions options)
       options_(std::move(options)),
       quarantine_(options_.quarantine_capacity) {
   CAESAR_CHECK_OK(options_.Validate());
-  RewritePatternEngine(&plan_, options_.pattern_engine);
+  RewritePatternEngine(&plan_, options_.pattern_engine,
+                       PatternCompileOptions{options_.absint});
   if (options_.ingest_policy == IngestPolicy::kReorder) {
     reorder_ = std::make_unique<ReorderBuffer>(options_.reorder_slack);
   }

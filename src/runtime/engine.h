@@ -174,6 +174,14 @@ struct EngineOptions {
   // fallback as P305.
   PatternEngine pattern_engine = PatternEngine::kInterpreted;
 
+  // Abstract-interpretation pass over the patterns the compiler handles
+  // (analysis/absint.h): prunes guards proven implied, short-circuits
+  // automata proven dead, and refines guard-ordering selectivities from
+  // interval facts. On by default; off compiles exactly as a build without
+  // the pass (byte-identical automata and output). No effect under
+  // kInterpreted.
+  bool absint = true;
+
   // Durability (durability/durability.h): off by default; kWal logs every
   // admitted tick to a write-ahead log so a crashed engine can be rebuilt
   // with Engine::Recover; kWalCheckpoint additionally writes periodic full

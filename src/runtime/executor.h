@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "runtime/observability.h"
 
 namespace caesar {
@@ -161,7 +162,8 @@ class ShardedExecutor {
   };
 
   void WorkerLoop(int worker_id);
-  void RunStealingTick(int self, const TickTask& task);
+  void RunStealingTick(int self, const TickTask& task,
+                       const uint64_t* weights);
 
   const int num_workers_;
   const SchedulerMode mode_;
@@ -169,17 +171,25 @@ class ShardedExecutor {
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: "a new epoch is posted"
   std::condition_variable done_cv_;  // scheduler: "all workers finished"
-  uint64_t epoch_ = 0;               // bumped once per tick
-  int pending_ = 0;                  // workers still inside the epoch
-  bool shutdown_ = false;
+  uint64_t epoch_ CAESAR_GUARDED_BY(mu_) = 0;  // bumped once per tick
+  int pending_ CAESAR_GUARDED_BY(mu_) = 0;  // workers still inside the epoch
+  bool shutdown_ CAESAR_GUARDED_BY(mu_) = false;
 
   // The posted tick, published under mu_ and stable until the barrier.
-  size_t task_count_ = 0;
-  const TickTask* task_fn_ = nullptr;
-  const uint64_t* task_weights_ = nullptr;  // null = every task weighs 1
+  // Workers copy the pointers while holding mu_ in their epoch wait and
+  // use the copies for the rest of the tick (the scheduler blocks at the
+  // barrier, so the pointees outlive every copy).
+  size_t task_count_ CAESAR_GUARDED_BY(mu_) = 0;
+  const TickTask* task_fn_ CAESAR_GUARDED_BY(mu_) = nullptr;
+  // Null = every task weighs 1.
+  const uint64_t* task_weights_ CAESAR_GUARDED_BY(mu_) = nullptr;
 
   // Per-worker task lists, rebuilt (buffers reused) every tick by the
-  // scheduler — no per-tick allocation on the hot path.
+  // scheduler — no per-tick allocation on the hot path. Deliberately NOT
+  // guarded_by(mu_): the epoch-barrier protocol (scheduler writes before
+  // publishing the epoch, workers write disjoint entries during the tick,
+  // scheduler reads after the barrier) is outside what the static
+  // analysis can model, and taking mu_ per task would serialize the pool.
   std::vector<WorkerQueue> queues_;
   // kStealing only: one claim flag per task, reset by the scheduler before
   // the epoch is published. exchange(1) decides the unique executor of a

@@ -293,6 +293,7 @@ void CaesarServer::DrainLoop() {
     }
     if (stop_.load()) return;
     std::lock_guard<std::mutex> lock(sessions_mutex_);
+    SessionSerialGuard role(TenantSession::serial_role);
     for (auto& [name, session] : sessions_) {
       Status status = session->Drain(/*flush=*/false);
       if (!status.ok()) {
@@ -350,6 +351,7 @@ JsonValue CaesarServer::Handle(const JsonValue& request) {
   }
 
   std::lock_guard<std::mutex> lock(sessions_mutex_);
+  SessionSerialGuard role(TenantSession::serial_role);
   switch (cmd) {
     case ServerCmd::kPing:
       return HandlePing();

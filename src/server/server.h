@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "runtime/executor.h"
 #include "server/session.h"
 #include "server/wire.h"
@@ -113,18 +114,28 @@ class CaesarServer {
   // never crashes on hostile bytes — always returns a coded document.
   JsonValue DispatchPayload(std::string_view payload);
 
-  // Command handlers; sessions_mutex_ held.
-  JsonValue HandleRegister(const JsonValue& request);
-  JsonValue HandleIngest(const JsonValue& request);
-  JsonValue HandleFlush(const JsonValue& request);
-  JsonValue HandlePoll(const JsonValue& request);
-  JsonValue HandleStats(const JsonValue& request);
-  JsonValue HandleTeardown(const JsonValue& request);
-  JsonValue HandleList();
+  // Command handlers; called with the session lock AND the session
+  // serial role held (enforced by the clang thread-safety analysis —
+  // the CI lint job builds with -Wthread-safety).
+  JsonValue HandleRegister(const JsonValue& request)
+      CAESAR_REQUIRES(sessions_mutex_, TenantSession::serial_role);
+  JsonValue HandleIngest(const JsonValue& request)
+      CAESAR_REQUIRES(sessions_mutex_, TenantSession::serial_role);
+  JsonValue HandleFlush(const JsonValue& request)
+      CAESAR_REQUIRES(sessions_mutex_, TenantSession::serial_role);
+  JsonValue HandlePoll(const JsonValue& request)
+      CAESAR_REQUIRES(sessions_mutex_, TenantSession::serial_role);
+  JsonValue HandleStats(const JsonValue& request)
+      CAESAR_REQUIRES(sessions_mutex_, TenantSession::serial_role);
+  JsonValue HandleTeardown(const JsonValue& request)
+      CAESAR_REQUIRES(sessions_mutex_, TenantSession::serial_role);
+  JsonValue HandleList()
+      CAESAR_REQUIRES(sessions_mutex_, TenantSession::serial_role);
   JsonValue HandlePing();
 
   // Looks up a session or returns null and fills *error with I421.
-  TenantSession* FindTenant(const JsonValue& request, JsonValue* error);
+  TenantSession* FindTenant(const JsonValue& request, JsonValue* error)
+      CAESAR_REQUIRES(sessions_mutex_);
 
   const ServerOptions options_;
 
@@ -132,14 +143,15 @@ class CaesarServer {
   std::shared_ptr<ShardedExecutor> pool_;
 
   mutable std::mutex sessions_mutex_;
-  std::map<std::string, std::unique_ptr<TenantSession>> sessions_;
+  std::map<std::string, std::unique_ptr<TenantSession>> sessions_
+      CAESAR_GUARDED_BY(sessions_mutex_);
 
   int listen_fd_ = -1;
   int port_ = 0;
 
   std::atomic<bool> stop_{false};
-  bool stopped_ = false;  // Stop() ran; guarded by lifecycle_mutex_
   std::mutex lifecycle_mutex_;
+  bool stopped_ CAESAR_GUARDED_BY(lifecycle_mutex_) = false;  // Stop() ran
   std::condition_variable stop_cv_;
 
   std::thread accept_thread_;
@@ -148,8 +160,8 @@ class CaesarServer {
   std::condition_variable drain_cv_;
 
   std::mutex conns_mutex_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_ CAESAR_GUARDED_BY(conns_mutex_);
+  std::vector<std::thread> conn_threads_ CAESAR_GUARDED_BY(conns_mutex_);
 };
 
 }  // namespace caesar

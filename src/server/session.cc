@@ -9,6 +9,8 @@
 
 namespace caesar {
 
+SessionSerialRole TenantSession::serial_role;
+
 Result<std::unique_ptr<TenantSession>> TenantSession::Create(
     const std::string& name, std::string_view model_text,
     SessionConfig config) {

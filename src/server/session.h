@@ -23,12 +23,42 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "event/event.h"
 #include "event/schema.h"
 #include "plan/translator.h"
 #include "runtime/engine.h"
 
 namespace caesar {
+
+// The serialization contract above, made checkable: a phantom capability
+// (the clang thread-safety "role" idiom — no runtime state, no blocking)
+// standing for "the right to touch a session's buffers". The server
+// acquires it together with its global session lock; TenantSession's
+// buffer-touching methods require it, so a future code path that reaches
+// a session without the lock fails the -Wthread-safety CI build instead
+// of racing at runtime.
+class CAESAR_CAPABILITY("role") SessionSerialRole {
+ public:
+  void Acquire() CAESAR_ACQUIRE() {}
+  void Release() CAESAR_RELEASE() {}
+};
+
+// RAII role acquisition; compiles to nothing, exists for the analysis.
+class CAESAR_SCOPED_CAPABILITY SessionSerialGuard {
+ public:
+  explicit SessionSerialGuard(SessionSerialRole& role) CAESAR_ACQUIRE(role)
+      : role_(role) {
+    role_.Acquire();
+  }
+  ~SessionSerialGuard() CAESAR_RELEASE() { role_.Release(); }
+
+  SessionSerialGuard(const SessionSerialGuard&) = delete;
+  SessionSerialGuard& operator=(const SessionSerialGuard&) = delete;
+
+ private:
+  SessionSerialRole& role_;
+};
 
 // Per-tenant knobs, decoded from the register request's "options" object
 // (server/protocol.h). Engine-level fields mirror EngineOptions.
@@ -62,23 +92,32 @@ class TenantSession {
   const TypeRegistry& registry() const { return *registry_; }
   const SessionConfig& config() const { return config_; }
 
-  size_t pending_events() const { return pending_.size(); }
+  // Every tenant shares one role: the server's single session lock
+  // serializes ALL sessions at once, so one capability is the honest
+  // model (a per-session role would claim finer locking than exists).
+  static SessionSerialRole serial_role;
+
+  size_t pending_events() const CAESAR_REQUIRES(serial_role) {
+    return pending_.size();
+  }
   size_t max_pending_events() const { return config_.max_pending_events; }
-  int64_t total_accepted() const { return total_accepted_; }
+  int64_t total_accepted() const CAESAR_REQUIRES(serial_role) {
+    return total_accepted_;
+  }
 
   // Appends to pending_, whole batch or nothing: OutOfRange (the server
   // maps it to I420) when the batch would overflow the bound.
-  Status Ingest(EventBatch events);
+  Status Ingest(EventBatch events) CAESAR_REQUIRES(serial_role);
 
   // Runs the engine over buffered complete ticks (see file comment). With
   // `flush` the open tick is forced through too, leaving pending_ empty.
   // A failed Run (e.g. strict-policy rejection of disordered input)
   // discards the rejected events — exactly what a library caller does
   // with a batch Run rejects — and returns the engine's Status.
-  Status Drain(bool flush);
+  Status Drain(bool flush) CAESAR_REQUIRES(serial_role);
 
   // Hands over and clears the derived events accumulated by Drain.
-  EventBatch TakeOutputs();
+  EventBatch TakeOutputs() CAESAR_REQUIRES(serial_role);
 
   // Statistics export for this tenant (the report carries the tenant
   // label). `prometheus` picks the text exposition format over JSON;
@@ -103,9 +142,9 @@ class TenantSession {
   std::unique_ptr<Engine> engine_;
   SessionConfig config_;
 
-  EventBatch pending_;
-  EventBatch outputs_;
-  int64_t total_accepted_ = 0;
+  EventBatch pending_ CAESAR_GUARDED_BY(serial_role);
+  EventBatch outputs_ CAESAR_GUARDED_BY(serial_role);
+  int64_t total_accepted_ CAESAR_GUARDED_BY(serial_role) = 0;
 };
 
 }  // namespace caesar

@@ -1,0 +1,195 @@
+// Unit tests for src/analysis/absint.{h,cc}: predicate abstraction,
+// interval-fact propagation (thresholds and variable-variable edges),
+// verdicts, satisfiable fractions, and the cross-position analysis that
+// the analyzer (W206/W207/C006), the pattern compiler, and
+// `caesar_lint --dump-facts` all consume.
+
+#include "analysis/absint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "event/schema.h"
+#include "expr/compiled.h"
+#include "expr/parser.h"
+
+namespace caesar {
+namespace {
+
+class AbsintTest : public ::testing::Test {
+ protected:
+  AbsintTest() {
+    a_type_ = registry_.RegisterOrGet("A", {{"x", ValueType::kInt}});
+    b_type_ = registry_.RegisterOrGet("B", {{"y", ValueType::kInt}});
+    bindings_.Add({"a", a_type_, &registry_.type(a_type_).schema});
+    bindings_.Add({"b", b_type_, &registry_.type(b_type_).schema});
+  }
+
+  // Compiles `text` against (a: A, b: B) and lifts it.
+  AbsPredicate Abstract(const std::string& text) {
+    auto expr = ParseExpr(text);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    auto compiled = Compile(expr.value(), bindings_);
+    EXPECT_TRUE(compiled.ok()) << compiled.status();
+    return AbstractPredicate(*compiled.value());
+  }
+
+  TypeRegistry registry_;
+  TypeId a_type_ = 0;
+  TypeId b_type_ = 0;
+  BindingSet bindings_;
+};
+
+TEST_F(AbsintTest, ThresholdConjunctionAbstractsExactly) {
+  const AbsPredicate pred = Abstract("a.x > 10 AND b.y <= 5");
+  EXPECT_TRUE(pred.exact);
+  ASSERT_EQ(pred.constraints.size(), 2u);
+  EXPECT_EQ(pred.constraints[0].kind, AbsConstraint::Kind::kThreshold);
+  EXPECT_EQ(pred.constraints[0].var, 0);
+  EXPECT_EQ(pred.constraints[0].value, 10.0);
+  EXPECT_EQ(pred.constraints[1].var, 1);
+}
+
+TEST_F(AbsintTest, ConstantOnTheLeftIsMirrored) {
+  // 10 < a.x must normalize to a.x > 10.
+  const AbsPredicate pred = Abstract("10 < a.x");
+  ASSERT_EQ(pred.constraints.size(), 1u);
+  EXPECT_TRUE(pred.exact);
+  EXPECT_EQ(pred.constraints[0].op, BinaryOp::kGt);
+  EXPECT_EQ(pred.constraints[0].value, 10.0);
+}
+
+TEST_F(AbsintTest, UnsupportedConjunctsClearExactButKeepTheRest) {
+  // != carries no interval information; the other conjunct must survive
+  // with exact = false (dropping a conjunct widens, never narrows).
+  const AbsPredicate pred = Abstract("a.x > 10 AND a.x != 3");
+  EXPECT_FALSE(pred.exact);
+  ASSERT_EQ(pred.constraints.size(), 1u);
+  EXPECT_EQ(pred.constraints[0].op, BinaryOp::kGt);
+}
+
+TEST_F(AbsintTest, VarVarConjunctAbstracts) {
+  const AbsPredicate pred = Abstract("b.y > a.x");
+  ASSERT_EQ(pred.constraints.size(), 1u);
+  EXPECT_TRUE(pred.exact);
+  EXPECT_EQ(pred.constraints[0].kind, AbsConstraint::Kind::kVarVar);
+  EXPECT_EQ(pred.constraints[0].var, 1);
+  EXPECT_EQ(pred.constraints[0].rhs_var, 0);
+}
+
+TEST_F(AbsintTest, ApplyIntersectsAndFindsContradiction) {
+  IntervalFacts facts;
+  facts.Apply(Abstract("a.x >= 10"));
+  EXPECT_FALSE(facts.contradiction());
+  EXPECT_EQ(facts.Get(0, 0).lo, 10.0);
+  facts.Apply(Abstract("a.x <= 5"));
+  EXPECT_TRUE(facts.contradiction());
+  EXPECT_EQ(facts.EmptyKey(), (std::pair<int, int>{0, 0}));
+}
+
+TEST_F(AbsintTest, CheckVerdictsAgainstBoundedFacts) {
+  IntervalFacts facts;
+  facts.Apply(Abstract("a.x >= 0 AND a.x <= 100"));
+  EXPECT_EQ(facts.Check(Abstract("a.x > 95")), AbsVerdict::kUnknown);
+  EXPECT_EQ(facts.Check(Abstract("a.x <= 200")), AbsVerdict::kTrue);
+  EXPECT_EQ(facts.Check(Abstract("a.x > 200")), AbsVerdict::kFalse);
+  // kTrue needs exactness: the implied region covers the facts, but the
+  // dropped != conjunct could still falsify the full predicate.
+  EXPECT_EQ(facts.Check(Abstract("a.x <= 200 AND a.x != 3")),
+            AbsVerdict::kUnknown);
+  // kFalse does not: one impossible conjunct falsifies the conjunction.
+  EXPECT_EQ(facts.Check(Abstract("a.x > 200 AND a.x != 3")),
+            AbsVerdict::kFalse);
+}
+
+TEST_F(AbsintTest, IdentityComparisonResolves) {
+  IntervalFacts facts;
+  EXPECT_EQ(facts.Check(Abstract("a.x = a.x")), AbsVerdict::kTrue);
+  EXPECT_EQ(facts.Check(Abstract("a.x < a.x")), AbsVerdict::kFalse);
+}
+
+TEST_F(AbsintTest, VarVarEdgePropagatesBounds) {
+  IntervalFacts facts;
+  facts.Apply(Abstract("a.x >= 20"));
+  facts.Apply(Abstract("b.y > a.x"));
+  const Interval b = facts.Get(1, 0);
+  EXPECT_EQ(b.lo, 20.0);
+  EXPECT_TRUE(b.lo_open);
+  EXPECT_EQ(facts.Check(Abstract("b.y <= 10")), AbsVerdict::kFalse);
+}
+
+TEST_F(AbsintTest, VarVarVerdictOverProductRegion) {
+  IntervalFacts facts;
+  facts.Apply(Abstract("a.x <= 5 AND b.y >= 10"));
+  EXPECT_EQ(facts.Check(Abstract("a.x < b.y")), AbsVerdict::kTrue);
+  EXPECT_EQ(facts.Check(Abstract("a.x > b.y")), AbsVerdict::kFalse);
+  // Disjoint regions falsify equality too.
+  EXPECT_EQ(facts.Check(Abstract("a.x = b.y")), AbsVerdict::kFalse);
+  // Regions touching at a single point leave it open.
+  IntervalFacts touching;
+  touching.Apply(Abstract("a.x <= 5 AND b.y >= 5"));
+  EXPECT_EQ(touching.Check(Abstract("a.x = b.y")), AbsVerdict::kUnknown);
+}
+
+TEST_F(AbsintTest, SatisfiableFractionOfFiniteFacts) {
+  IntervalFacts facts;
+  facts.Apply(Abstract("a.x >= 0 AND a.x <= 100"));
+  auto fraction = facts.SatisfiableFraction(Abstract("a.x > 95"));
+  ASSERT_TRUE(fraction.has_value());
+  EXPECT_NEAR(*fraction, 0.05, 1e-9);
+  // Unbounded facts give no fraction — the caller keeps its static
+  // estimate instead of inventing one.
+  IntervalFacts unbounded;
+  EXPECT_FALSE(
+      unbounded.SatisfiableFraction(Abstract("a.x > 95")).has_value());
+}
+
+TEST_F(AbsintTest, AnalyzePositionsFlagsSubsumedGuard) {
+  std::vector<AbsPosition> positions(2);
+  positions[0].guards = {Abstract("a.x > 10"), Abstract("a.x > 5")};
+  positions[1].guards = {Abstract("b.y = 1")};
+  const PatternAbsintResult result = AnalyzePositions(positions);
+  EXPECT_FALSE(result.dead());
+  ASSERT_EQ(result.guards.size(), 2u);
+  EXPECT_EQ(result.guards[0][0].verdict, AbsVerdict::kUnknown);
+  EXPECT_EQ(result.guards[0][1].verdict, AbsVerdict::kTrue);
+}
+
+TEST_F(AbsintTest, AnalyzePositionsFindsDeadTransition) {
+  std::vector<AbsPosition> positions(2);
+  positions[0].guards = {Abstract("a.x >= 20")};
+  positions[1].guards = {Abstract("b.y > a.x"), Abstract("b.y <= 10")};
+  const PatternAbsintResult result = AnalyzePositions(positions);
+  EXPECT_TRUE(result.dead());
+  EXPECT_EQ(result.dead_position, 1);
+  EXPECT_EQ(result.dead_guard, 1);
+}
+
+TEST_F(AbsintTest, NegatedPositionsContributeNoFacts) {
+  std::vector<AbsPosition> positions(2);
+  positions[0].negated = true;
+  positions[0].guards = {Abstract("a.x >= 20")};
+  positions[1].guards = {Abstract("a.x <= 5")};
+  const PatternAbsintResult result = AnalyzePositions(positions);
+  // The negated position's guard must not poison the facts: a.x <= 5
+  // stays satisfiable.
+  EXPECT_FALSE(result.dead());
+}
+
+TEST_F(AbsintTest, FactsAccumulateAcrossPositions) {
+  std::vector<AbsPosition> positions(2);
+  positions[0].guards = {Abstract("a.x >= 0 AND a.x <= 100")};
+  positions[1].guards = {Abstract("a.x > 95")};
+  const PatternAbsintResult result = AnalyzePositions(positions);
+  ASSERT_EQ(result.states.size(), 3u);
+  const Interval at_pos1 = result.states[1].Get(0, 0);
+  EXPECT_EQ(at_pos1.lo, 0.0);
+  EXPECT_EQ(at_pos1.hi, 100.0);
+  ASSERT_TRUE(result.guards[1][0].sat_fraction.has_value());
+  EXPECT_NEAR(*result.guards[1][0].sat_fraction, 0.05, 1e-9);
+}
+
+}  // namespace
+}  // namespace caesar

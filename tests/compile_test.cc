@@ -42,14 +42,16 @@ std::string ReadFile(const std::filesystem::path& path) {
 
 // Mirrors `caesar_lint --dump-automaton`: strict parse, translate with
 // default options, dump every pattern query's automaton.
-std::string DumpFixture(const std::filesystem::path& path) {
+std::string DumpFixture(const std::filesystem::path& path,
+                        const PatternCompileOptions& compile_options = {}) {
   TypeRegistry registry;
   ParseModelOptions parse_options;
   parse_options.source_name = path.filename().string();
   auto model = ParseModel(ReadFile(path), &registry, parse_options);
   EXPECT_TRUE(model.ok()) << model.status();
   if (!model.ok()) return "<parse error>";
-  auto dumped = DumpModelAutomatons(model.value(), PlanOptions{});
+  auto dumped =
+      DumpModelAutomatons(model.value(), PlanOptions{}, compile_options);
   EXPECT_TRUE(dumped.ok()) << dumped.status();
   return dumped.ok() ? dumped.value() : "<dump error>";
 }
@@ -67,7 +69,36 @@ TEST(CompileCorpusTest, FixturesMatchGoldens) {
         << "fixture " << entry.path().filename()
         << " drifted; regenerate with tools/caesar_lint --dump-automaton";
   }
-  EXPECT_GE(fixtures, 8) << "compile corpus went missing";
+  EXPECT_GE(fixtures, 11) << "compile corpus went missing";
+}
+
+TEST(CompileCorpusTest, NoAbsintGoldensMatchWithPassDisabled) {
+  // Paired goldens: every *.noabsint.expected pins the same fixture's
+  // dump with the abstract-interpretation pass switched off — the
+  // documented "off switch is byte-identical to a compiler without the
+  // pass" contract.
+  const std::filesystem::path dir =
+      std::filesystem::path(CAESAR_TEST_SRCDIR) / "compile_corpus";
+  int paired = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    const std::string suffix = ".noabsint.expected";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    ++paired;
+    std::filesystem::path fixture = dir / name;
+    fixture.replace_extension().replace_extension(".caesar");
+    PatternCompileOptions off;
+    off.absint = false;
+    EXPECT_EQ(DumpFixture(fixture, off), ReadFile(entry.path()))
+        << "fixture " << fixture.filename()
+        << " drifted; regenerate with tools/caesar_lint --dump-automaton "
+           "--no-absint";
+  }
+  EXPECT_GE(paired, 3) << "no-absint goldens went missing";
 }
 
 TEST(CompileCorpusTest, DumpIsDeterministic) {

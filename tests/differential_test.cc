@@ -62,6 +62,27 @@ TEST(QuickFuzzTest, FreshSeedsAreClean) {
       << FormatRepro(result.value().repro);
 }
 
+// Absint on/off differential: every compiled leg in CompareCase re-runs
+// with EngineOptions::absint = false and byte-compares the derived
+// streams (divergence leg "<name>/noabsint"), so 50 generated models
+// through the compiled-engine legs prove the pruning/re-ranking pass
+// never changes observable output. Seeds 501..550, disjoint from the
+// other sweeps.
+TEST(QuickFuzzTest, FiftySeedsAbsintOnOffByteIdentical) {
+  FuzzOptions options;
+  options.seed = 501;
+  options.iters = 50;
+  options.full_matrix = false;
+  options.engines = "compiled";
+  auto result = RunFuzz(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().iterations_run, 50);
+  EXPECT_FALSE(result.value().diverged)
+      << result.value().report.leg << "\n"
+      << result.value().report.detail << "\n"
+      << FormatRepro(result.value().repro);
+}
+
 // Crash-recovery legs over generated cases: seeds rotate the crash point
 // through the whole durability protocol (seed % 4 picks append / commit /
 // checkpoint write / checkpoint publish), and each iteration checks both

@@ -1,0 +1,85 @@
+// Pins caesar_lint's documented exit-code contract by exec'ing the real
+// binary (CAESAR_LINT_PATH, injected by CMake):
+//
+//   0  clean — no errors or warnings; notes are allowed
+//   1  diagnostics at warning severity or above
+//   2  usage, I/O, or syntax error
+//
+// The notes-only case is the regression of interest: a model whose only
+// diagnostics are notes (every hysteresis workload emits W203) must exit
+// 0 in every output format and with --no-notes, or CI gates built on
+// "caesar_lint && ..." start failing on healthy models.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+// Runs `caesar_lint <args>` with stdout/stderr discarded; returns the
+// process exit code (or -1 if the child did not exit normally).
+int RunLint(const std::string& args) {
+  const std::string cmd =
+      std::string(CAESAR_LINT_PATH) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(CAESAR_TEST_SRCDIR) + "/lint_corpus/" + name;
+}
+
+TEST(LintCliExitCodes, NotesOnlyModelExitsZeroInEveryFormat) {
+  const std::string model = Fixture("clean_hysteresis.caesar");
+  EXPECT_EQ(RunLint(model), 0);
+  EXPECT_EQ(RunLint("--format=json " + model), 0);
+  EXPECT_EQ(RunLint("--format=sarif " + model), 0);
+  EXPECT_EQ(RunLint("--no-notes " + model), 0);
+}
+
+TEST(LintCliExitCodes, FullyCleanModelExitsZero) {
+  EXPECT_EQ(RunLint(Fixture("clean_window.caesar")), 0);
+}
+
+TEST(LintCliExitCodes, WarningExitsOne) {
+  const std::string model = Fixture("w201_contradiction.caesar");
+  EXPECT_EQ(RunLint(model), 1);
+  EXPECT_EQ(RunLint("--format=json " + model), 1);
+  EXPECT_EQ(RunLint("--format=sarif " + model), 1);
+  // Dropping notes must not drop the warning's exit code.
+  EXPECT_EQ(RunLint("--no-notes " + model), 1);
+}
+
+TEST(LintCliExitCodes, ErrorExitsOne) {
+  EXPECT_EQ(RunLint(Fixture("c005_unknown_context.caesar")), 1);
+}
+
+TEST(LintCliExitCodes, MixedNotesAndWarningsStillExitOne) {
+  // Notes riding along with a warning must not mask it.
+  EXPECT_EQ(RunLint(Fixture("c003_shadowed.caesar")), 1);
+}
+
+TEST(LintCliExitCodes, SyntaxErrorExitsTwo) {
+  const std::string path = testing::TempDir() + "lint_cli_syntax_error.caesar";
+  {
+    std::ofstream out(path);
+    out << "TYPE E(x int;\n";  // unbalanced parenthesis
+  }
+  EXPECT_EQ(RunLint(path), 2);
+  std::remove(path.c_str());
+}
+
+TEST(LintCliExitCodes, MissingFileExitsTwo) {
+  EXPECT_EQ(RunLint(Fixture("does_not_exist.caesar")), 2);
+}
+
+TEST(LintCliExitCodes, UnknownFlagExitsTwo) {
+  EXPECT_EQ(RunLint("--definitely-not-a-flag"), 2);
+}
+
+}  // namespace

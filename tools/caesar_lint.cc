@@ -21,13 +21,20 @@
 //     Prints the compiled pattern automaton (compile/compiler.h) for every
 //     pattern query in each model, in the deterministic text form the
 //     compile_corpus goldens pin. Patterns past the compiler's position
-//     limit print a "fallback: interpreted" line instead.
+//     limit print a "fallback: interpreted" line instead. With
+//     --no-absint the abstract-interpretation pass is skipped, matching a
+//     compiler without it byte for byte.
+//   caesar_lint --dump-facts FILE...
+//     Prints the abstract interpreter's per-state interval facts
+//     (analysis/absint.h) for every pattern query in each model —
+//     deterministic, like --dump-automaton.
 //
 // Options:
 //   --format=human|json|sarif   output format (default human). JSON and
 //                               SARIF are deterministic: byte-identical
 //                               across repeat runs on the same input.
 //   --no-notes                  drop note-severity diagnostics
+//   --no-absint                 disable absint pruning in --dump-automaton
 //   --list-bugs                 print the model mutation names and exit
 //
 // Exit codes: 0 = clean (no errors or warnings; notes allowed),
@@ -42,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "analysis/analyzer.h"
 #include "analysis/diagnostics.h"
 #include "compile/compiler.h"
@@ -66,9 +74,10 @@ int Usage(const char* argv0) {
       "       %s --builtin linear_road|pamap|synthetic|all\n"
       "       %s --seed N [--iters M] [--inject-bug NAME]\n"
       "       %s --selfcheck [--seed N] [--iters M]\n"
-      "       %s --dump-automaton FILE...\n"
+      "       %s --dump-automaton [--no-absint] FILE...\n"
+      "       %s --dump-facts FILE...\n"
       "       %s --list-bugs\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -116,6 +125,8 @@ int main(int argc, char** argv) {
   bool selfcheck = false;
   bool list_bugs = false;
   bool dump_automaton = false;
+  bool dump_facts = false;
+  bool absint = true;
   bool have_seed = false;
   uint64_t seed = 1;
   int iters = 1;
@@ -157,6 +168,10 @@ int main(int argc, char** argv) {
       list_bugs = true;
     } else if (arg == "--dump-automaton") {
       dump_automaton = true;
+    } else if (arg == "--dump-facts") {
+      dump_facts = true;
+    } else if (arg == "--no-absint") {
+      absint = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -287,8 +302,8 @@ int main(int argc, char** argv) {
     return Report(&run, format);
   }
 
-  // ---- Automaton dumps -------------------------------------------------
-  if (dump_automaton) {
+  // ---- Automaton / interval-fact dumps ---------------------------------
+  if (dump_automaton || dump_facts) {
     if (files.empty()) return Usage(argv[0]);
     for (const std::string& path : files) {
       std::ifstream in(path);
@@ -307,7 +322,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       auto dumped =
-          caesar::DumpModelAutomatons(model.value(), caesar::PlanOptions{});
+          dump_facts
+              ? caesar::DumpModelFacts(model.value(), caesar::PlanOptions{})
+              : caesar::DumpModelAutomatons(
+                    model.value(), caesar::PlanOptions{},
+                    caesar::PatternCompileOptions{absint});
       if (!dumped.ok()) {
         std::fprintf(stderr, "%s: %s\n", path.c_str(),
                      dumped.status().ToString().c_str());
